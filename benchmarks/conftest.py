@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+The full §V campaign (8 fault types x 20 runs with mixed interference) is
+run once per session and shared by every table/figure bench.
+"""
+
+import pytest
+
+from repro.evaluation.campaign import Campaign, CampaignConfig
+from repro.evaluation.metrics import compute_metrics
+
+
+@pytest.fixture(scope="session")
+def campaign_outcomes():
+    """The paper's full campaign: 160 fault-injection runs."""
+    campaign = Campaign(CampaignConfig(runs_per_fault=20, large_cluster_runs=4, seed=2014))
+    campaign.run()
+    return campaign.outcomes
+
+
+@pytest.fixture(scope="session")
+def campaign_metrics(campaign_outcomes):
+    return compute_metrics(campaign_outcomes)

@@ -1,0 +1,161 @@
+"""The consistent AWS API layer (§IV).
+
+"To be resilient against AWS API inconsistency we also implemented a
+consistent AWS API layer.  This includes an exponential retry mechanism:
+if the supposed status of a specific cloud resource is different from our
+expectation we retry the respective AWS API calls automatically.  We also
+introduce an API timeout mechanism: assertion evaluations are regarded as
+failed if API calls time out.  Timeout values are set based on
+experiments, at the 95% percentile."
+
+:class:`ConsistentApiClient` therefore offers:
+
+- ``call`` — one API call with exponential retry on *retryable* errors
+  (throttling, transient service unavailability);
+- ``call_until`` — retry a (possibly stale) read until a predicate holds
+  or the deadline passes, absorbing eventual consistency;
+- per-call timeout, calibrated by default to the 95th percentile of the
+  latency model.
+
+Both are simulation generators: drive them with ``yield from`` inside an
+engine process, or through
+:meth:`repro.assertions.evaluation.AssertionEvaluationService`.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.cloud.api import CloudAPI
+from repro.cloud.errors import CloudError
+from repro.sim.latency import LatencyModel, aws_api_latency
+
+
+class ConsistentCallError(Exception):
+    """A call exhausted its retries or its deadline."""
+
+    def __init__(self, message: str, timed_out: bool = False, last_error: Exception | None = None) -> None:
+        super().__init__(message)
+        self.timed_out = timed_out
+        self.last_error = last_error
+
+
+class ConsistentApiClient:
+    """Retrying, timeout-guarded facade over a :class:`CloudAPI`."""
+
+    def __init__(
+        self,
+        engine,
+        api: CloudAPI,
+        latency: LatencyModel | None = None,
+        max_retries: int = 4,
+        base_backoff: float = 0.2,
+        call_timeout: float | None = None,
+    ) -> None:
+        self.engine = engine
+        self.api = api
+        self.latency = latency or aws_api_latency()
+        self.max_retries = max_retries
+        self.base_backoff = base_backoff
+        if call_timeout is None:
+            # The paper calibrates timeouts at the 95th percentile of
+            # measured latencies; fall back to 10x mean if the model has
+            # no analytic percentile.
+            percentile = getattr(self.latency, "percentile", None)
+            if percentile is not None:
+                call_timeout = percentile(0.95) * (max_retries + 1) + 2.0
+            else:
+                call_timeout = self.latency.mean() * 10 * (max_retries + 1)
+        self.call_timeout = call_timeout
+        self.calls_made = 0
+        self.retries_made = 0
+        self.timeouts = 0
+
+    # -- generators -------------------------------------------------------------
+
+    def call(self, method: str, *args, **kwargs) -> _t.Generator:
+        """One logical call with exponential retry on retryable errors.
+
+        Non-retryable CloudErrors (not-found, validation, limit) propagate
+        immediately — they are *answers*, not infrastructure noise.
+        Returns the API result; raises :class:`ConsistentCallError` on
+        deadline expiry.
+        """
+        deadline = self.engine.now + self.call_timeout
+        attempt = 0
+        last_error: Exception | None = None
+        while True:
+            remaining = deadline - self.engine.now
+            if remaining <= 0:
+                self.timeouts += 1
+                raise ConsistentCallError(
+                    f"{method} timed out after {self.call_timeout:.2f}s",
+                    timed_out=True,
+                    last_error=last_error,
+                )
+            yield self.engine.timeout(min(self.latency.sample(), remaining))
+            self.calls_made += 1
+            try:
+                return getattr(self.api, method)(*args, **kwargs)
+            except CloudError as exc:
+                if not exc.retryable:
+                    raise
+                last_error = exc
+                attempt += 1
+                if attempt > self.max_retries:
+                    self.timeouts += 1
+                    raise ConsistentCallError(
+                        f"{method} still failing after {self.max_retries} retries: {exc}",
+                        timed_out=False,
+                        last_error=exc,
+                    )
+                self.retries_made += 1
+                backoff = self.base_backoff * (2 ** (attempt - 1))
+                yield self.engine.timeout(min(backoff, max(remaining, 0.0)))
+
+    def call_until(
+        self,
+        method: str,
+        *args,
+        predicate: _t.Callable[[_t.Any], bool],
+        timeout: float | None = None,
+        **kwargs,
+    ) -> _t.Generator:
+        """Retry a read until ``predicate(result)`` holds.
+
+        Absorbs eventual consistency: stale reads fail the predicate and
+        are retried with exponential backoff until the deadline.  Returns
+        the first satisfying result; raises :class:`ConsistentCallError`
+        (``timed_out=True``) if consistency never arrives — which the
+        evaluation service records as an assertion failure.
+        """
+        deadline = self.engine.now + (timeout if timeout is not None else self.call_timeout)
+        attempt = 0
+        last_result: _t.Any = None
+        while True:
+            try:
+                result = yield from self.call(method, *args, **kwargs)
+            except ConsistentCallError:
+                raise
+            except CloudError as exc:
+                # A not-found can itself be staleness; keep trying until
+                # the deadline, then surface the error.
+                result = exc
+            if not isinstance(result, CloudError) and predicate(result):
+                return result
+            last_result = result
+            attempt += 1
+            backoff = self.base_backoff * (2 ** min(attempt - 1, 6))
+            if self.engine.now + backoff >= deadline:
+                self.timeouts += 1
+                if isinstance(last_result, CloudError):
+                    raise ConsistentCallError(
+                        f"{method} never satisfied expectation: {last_result}",
+                        timed_out=True,
+                        last_error=last_result,
+                    )
+                raise ConsistentCallError(
+                    f"{method} result never satisfied expectation", timed_out=True
+                )
+            self.retries_made += 1
+            yield self.engine.timeout(backoff)

@@ -1,0 +1,152 @@
+"""Assertion evaluation service (Fig. 4).
+
+Evaluations arrive from three trigger mechanisms:
+
+- **log** — the local log processor annotated a line with ``assert:`` tags;
+- **timer** — one-off/periodic/watchdog timers (cause ``timer`` or
+  ``timer-timeout`` when a watchdog expired without its log event);
+- **on-demand** — diagnosis tests walking a fault tree.
+
+Log- and timer-triggered evaluations run as independent engine processes
+(the paper's evaluation "threads", whose interleaving produces its second
+false-positive class).  On-demand evaluations are driven synchronously
+inside the diagnosis process via ``yield from``.
+
+Every result is logged (type ``assertion``) to central storage; failures
+from log/timer triggers invoke the ``on_failure`` callback — the entry
+point of error diagnosis.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.assertions.base import Assertion, AssertionEnvironment
+from repro.assertions.results import AssertionResult
+from repro.logsys.record import LogRecord
+from repro.process.context import ProcessContext
+
+
+class AssertionEvaluationService:
+    """Registry + runner for assertions."""
+
+    def __init__(
+        self,
+        env: AssertionEnvironment,
+        storage=None,
+        on_failure: _t.Callable[[AssertionResult], None] | None = None,
+    ) -> None:
+        self.env = env
+        self.storage = storage
+        self.on_failure = on_failure
+        self.assertions: dict[str, Assertion] = {}
+        self.results: list[AssertionResult] = []
+        self.in_flight = 0
+
+    # -- registry -----------------------------------------------------------
+
+    def register(self, assertion: Assertion) -> None:
+        self.assertions[assertion.assertion_id] = assertion
+
+    def register_all(self, assertions: _t.Iterable[Assertion] | dict[str, Assertion]) -> None:
+        values = assertions.values() if isinstance(assertions, dict) else assertions
+        for assertion in values:
+            self.register(assertion)
+
+    def get(self, assertion_id: str) -> Assertion:
+        if assertion_id not in self.assertions:
+            raise KeyError(f"unknown assertion {assertion_id!r}")
+        return self.assertions[assertion_id]
+
+    # -- trigger paths ---------------------------------------------------------
+
+    def trigger_from_log(self, record: LogRecord, assertion_ids: list[str]) -> None:
+        """Primary trigger: evaluate each bound assertion asynchronously."""
+        context = ProcessContext.from_record(record)
+        params = dict(record.fields)
+        for assertion_id in assertion_ids:
+            self._spawn(assertion_id, params, cause="log", context=context)
+
+    def trigger_from_timer(
+        self,
+        firing,
+        assertion_ids: list[str],
+        params: dict | None = None,
+    ) -> None:
+        """Timer trigger.  Watchdog expiries carry much weaker context:
+        no triggering log line means no instance id — the paper's first
+        wrong-diagnosis class."""
+        cause = "timer-timeout" if firing.cause == "timeout" else "timer"
+        context = None
+        merged: dict = dict(params or {})
+        if firing.record is not None:
+            context = ProcessContext.from_record(firing.record)
+            merged = {**firing.record.fields, **merged}
+        for assertion_id in assertion_ids:
+            self._spawn(assertion_id, merged, cause=cause, context=context)
+
+    def evaluate_on_demand(self, assertion_id: str, params: dict) -> _t.Generator:
+        """On-demand trigger (diagnosis tests): drive with ``yield from``.
+
+        Returns the AssertionResult; never invokes ``on_failure`` (the
+        caller *is* the diagnosis).
+        """
+        assertion = self.get(assertion_id)
+        result = yield from assertion.evaluate(self.env, params)
+        result.cause = "on-demand"
+        self.results.append(result)
+        self._log_result(result)
+        return result
+
+    # -- internals ----------------------------------------------------------------
+
+    def _spawn(self, assertion_id: str, params: dict, cause: str, context) -> None:
+        assertion = self.get(assertion_id)
+        self.in_flight += 1
+        self.env.engine.process(
+            self._run(assertion, params, cause, context),
+            name=f"assert-{assertion_id}",
+        )
+
+    def _run(self, assertion: Assertion, params: dict, cause: str, context) -> _t.Generator:
+        try:
+            result = yield from assertion.evaluate(self.env, params)
+        finally:
+            self.in_flight -= 1
+        result.cause = cause
+        result.context = context
+        self.results.append(result)
+        self._log_result(result)
+        if result.failed and self.on_failure is not None:
+            self.on_failure(result)
+
+    def _log_result(self, result: AssertionResult) -> None:
+        if self.storage is None:
+            return
+        clock = self.env.engine.clock
+        record = LogRecord(
+            time=self.env.engine.now,
+            source="assertion-evaluation.log",
+            message=result.one_line(),
+            type="assertion",
+            timestamp=clock.render(),
+        )
+        record.add_tag(f"assert:{result.assertion_id}")
+        record.add_tag("assertion-failed" if result.failed else "assertion-ok")
+        record.add_tag(f"cause:{result.cause}")
+        if result.context is not None:
+            record.add_tag(f"trace:{result.context.trace_id}")
+            if result.context.step:
+                record.add_tag(f"step:{result.context.step}")
+        record.fields.update(
+            {"duration": round(result.duration, 3), "params": dict(result.params)}
+        )
+        self.storage.append(record)
+
+    # -- aggregate views --------------------------------------------------------
+
+    def failures(self) -> list[AssertionResult]:
+        return [r for r in self.results if r.failed]
+
+    def results_for(self, assertion_id: str) -> list[AssertionResult]:
+        return [r for r in self.results if r.assertion_id == assertion_id]

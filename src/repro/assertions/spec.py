@@ -1,0 +1,146 @@
+"""Assertion specification mini-language.
+
+The paper's future work: "In order to simplify specifying boilerplate
+assertions, we are designing an assertion specification language at the
+moment."  This module implements that language for the pre-defined
+assertion library.  A spec is one line, e.g.::
+
+    asg $asgid has {desired_capacity} running instances
+    instance $instanceid matches target configuration
+    asg {asg_name} uses correct security_group
+    resource ami {expected_image_id} exists
+    elb {elb_name} serves at least {min_in_service} instances
+
+Value syntax:
+
+- ``$name``   — resolved from the triggering log line's fields at runtime;
+- ``{name}``  — resolved from the configuration repository at evaluation
+  time (so concurrent config changes are observed, as in the paper);
+- anything else — a literal.
+
+``parse_assertion_spec`` returns ``(assertion, static_params)``: register
+the assertion and bind it with the static params merged into trigger
+params.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.assertions.base import Assertion
+from repro.assertions.library import (
+    AsgConfigAssertion,
+    AsgInstanceCountAssertion,
+    ElbRegistrationAssertion,
+    InstanceVersionAssertion,
+    ResourceExistsAssertion,
+)
+
+
+class AssertionSpecError(ValueError):
+    """The spec does not parse; the message says what was expected."""
+
+
+class _Value:
+    """A value term: literal, field reference, or config reference."""
+
+    def __init__(self, raw: str) -> None:
+        self.raw = raw
+        if raw.startswith("$"):
+            self.kind = "field"
+            self.name = raw[1:]
+        elif raw.startswith("{") and raw.endswith("}"):
+            self.kind = "config"
+            self.name = raw[1:-1]
+        else:
+            self.kind = "literal"
+            self.name = raw
+
+    def bind(self, params: dict, key: str) -> None:
+        """Contribute to static params.
+
+        Field references contribute nothing (the trigger fields supply
+        them); config references also contribute nothing (the environment
+        resolves config keys when the param is absent); only a literal
+        pins the param — *unless* the config key differs from the
+        assertion's expected key, in which case we record an alias.
+        """
+        if self.kind == "literal":
+            params[key] = self.name
+        elif self.kind == "config" and self.name != key:
+            params[f"{key}__from"] = self.name
+
+
+_RULES: list[tuple[re.Pattern, object]] = []
+
+
+def _rule(pattern: str):
+    def decorate(fn):
+        _RULES.append((re.compile(pattern, re.IGNORECASE), fn))
+        return fn
+
+    return decorate
+
+
+@_rule(r"^asg\s+(?P<asg>\S+)\s+has\s+(?P<count>\S+)\s+running\s+instances$")
+def _count_rule(match) -> tuple[Assertion, dict]:
+    params: dict = {}
+    _Value(match["asg"]).bind(params, "asg_name")
+    _Value(match["count"]).bind(params, "desired_capacity")
+    return AsgInstanceCountAssertion(), params
+
+
+@_rule(r"^instance\s+(?P<instance>\S+)\s+matches\s+target\s+config(uration)?$")
+def _instance_rule(match) -> tuple[Assertion, dict]:
+    params: dict = {}
+    _Value(match["instance"]).bind(params, "instanceid")
+    return InstanceVersionAssertion(), params
+
+
+@_rule(r"^asg\s+(?P<asg>\S+)\s+uses\s+correct\s+(?P<field>ami|key_pair|instance_type|security_group)$")
+def _config_rule(match) -> tuple[Assertion, dict]:
+    params: dict = {"field": match["field"].lower()}
+    _Value(match["asg"]).bind(params, "asg_name")
+    return AsgConfigAssertion(), params
+
+
+@_rule(r"^resource\s+(?P<kind>ami|key_pair|security_group|load_balancer|launch_configuration)\s+(?P<ident>\S+)\s+exists$")
+def _exists_rule(match) -> tuple[Assertion, dict]:
+    kind = match["kind"].lower()
+    params: dict = {}
+    _Value(match["ident"]).bind(params, "identifier")
+    return ResourceExistsAssertion(kind), params
+
+
+@_rule(r"^elb\s+(?P<elb>\S+)\s+serves\s+at\s+least\s+(?P<count>\S+)\s+instances$")
+def _elb_rule(match) -> tuple[Assertion, dict]:
+    params: dict = {}
+    _Value(match["elb"]).bind(params, "elb_name")
+    _Value(match["count"]).bind(params, "min_in_service")
+    return ElbRegistrationAssertion(), params
+
+
+@_rule(r"^elb\s+(?P<elb>\S+)\s+is\s+active$")
+def _elb_active_rule(match) -> tuple[Assertion, dict]:
+    params: dict = {}
+    _Value(match["elb"]).bind(params, "elb_name")
+    return ElbRegistrationAssertion(), params
+
+
+def parse_assertion_spec(spec: str) -> tuple[Assertion, dict]:
+    """Parse one spec line into (assertion, static params).
+
+    Raises :class:`AssertionSpecError` with the supported forms listed
+    when nothing matches.
+    """
+    text = " ".join(spec.split())
+    if not text:
+        raise AssertionSpecError("empty assertion spec")
+    for pattern, builder in _RULES:
+        match = pattern.match(text)
+        if match is not None:
+            return builder(match)
+    forms = [p.pattern for p, _ in _RULES]
+    raise AssertionSpecError(
+        f"unrecognised assertion spec {spec!r}; supported forms:\n  " + "\n  ".join(forms)
+    )

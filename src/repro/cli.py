@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the day-one workflows of a downstream user:
+
+- ``demo``      — a clean upgrade, then a faulty one, with the diagnosis log;
+- ``campaign``  — the paper's fault-injection campaign at any scale, with
+  Table I / Fig. 6 / Fig. 7 output and optional JSON export;
+- ``mine``      — discover the rolling-upgrade process model from fresh
+  logs and print it (optionally as Graphviz DOT);
+- ``trees``     — inventory the standard fault trees (optionally as DOT).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import typing as _t
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.testbed import build_testbed
+
+    testbed = build_testbed(cluster_size=args.cluster, seed=args.seed)
+    operation = testbed.run_upgrade()
+    print(f"clean upgrade: {operation.status} in {operation.duration:.0f}s (virtual),"
+          f" {len(testbed.pod.detections)} detections")
+
+    testbed = build_testbed(cluster_size=args.cluster, seed=args.seed + 1)
+
+    def inject():
+        yield testbed.engine.timeout(40)
+        rogue = testbed.cloud.api("rogue").register_image("rogue", "v9")["ImageId"]
+        testbed.cloud.injector.change_lc_ami("lc-app-v2", rogue)
+
+    testbed.engine.process(inject())
+    testbed.run_upgrade()
+    print(f"faulty upgrade (wrong AMI): {len(testbed.pod.detections)} detections")
+    for report in testbed.pod.reports[:1]:
+        print(f"  {report.summary()}")
+    for record in testbed.pod.storage.query(type="diagnosis")[:8]:
+        print(f"  {record.message}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.evaluation.campaign import Campaign, CampaignConfig
+    from repro.evaluation.figures import render_fig6, render_fig7, render_headline
+    from repro.evaluation.metrics import compute_metrics
+
+    config = CampaignConfig(
+        runs_per_fault=args.runs,
+        large_cluster_runs=max(1, args.runs // 5),
+        seed=args.seed,
+    )
+    campaign = Campaign(config)
+
+    def progress(index: int, total: int, outcome) -> None:
+        if args.verbose:
+            print(f"[{index}/{total}] {outcome.spec.run_id}: "
+                  f"{'detected' if outcome.fault_detected else 'MISSED'}")
+
+    campaign.run(progress=progress)
+    metrics = compute_metrics(campaign.outcomes)
+    print(render_headline(metrics))
+    print()
+    print(render_fig6(metrics))
+    print()
+    print(render_fig7(metrics))
+    if args.report:
+        from repro.evaluation.reporting import render_markdown
+
+        with open(args.report, "w") as handle:
+            handle.write(render_markdown(campaign.outcomes, metrics))
+        print(f"\nreport written to {args.report}")
+    if args.json:
+        payload = {
+            "config": {"runs_per_fault": args.runs, "seed": args.seed},
+            "precision": metrics.precision,
+            "recall": metrics.recall,
+            "accuracy_rate": metrics.accuracy_rate,
+            "false_positives": metrics.false_positives,
+            "interference_detected": metrics.interference_detected,
+            "diagnosis_time_stats": metrics.diagnosis_time_stats(),
+            "per_fault": {
+                ft: {
+                    "precision": bucket.precision,
+                    "recall": bucket.recall,
+                    "accuracy_rate": bucket.accuracy_rate,
+                }
+                for ft, bucket in metrics.per_fault.items()
+            },
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nmetrics written to {args.json}")
+    return 0 if metrics.recall == 1.0 else 1
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.operations.rolling_upgrade import build_pattern_library
+    from repro.process.mining.dfg import DirectlyFollowsGraph
+    from repro.process.mining.discovery import discover_model
+    from repro.process.serialize import model_to_dot
+    from repro.testbed import Testbed
+
+    library = build_pattern_library()
+    traces = []
+    for seed in range(args.runs):
+        testbed = Testbed(cluster_size=4, seed=args.seed + seed)
+        testbed.run_upgrade(trace_id=f"mine-{seed}")
+        trace = []
+        for record in testbed.stream.records:
+            classification = library.classify(record.message)
+            if classification.matched and not classification.pattern.is_error:
+                trace.append(classification.activity)
+        traces.append(trace)
+    dfg = DirectlyFollowsGraph.from_traces(traces)
+    model = discover_model(dfg, model_id="mined-rolling-upgrade")
+    if args.dot:
+        print(model_to_dot(model))
+    else:
+        print(f"discovered model from {len(traces)} runs:"
+              f" {len(model.activities)} activities, {len(model.edges)} edges")
+        for source, target in sorted(model.edges):
+            print(f"  {source} -> {target}")
+        print(f"loop edges: {dfg.loop_edges()}")
+    return 0
+
+
+def _cmd_trees(args: argparse.Namespace) -> int:
+    from repro.faulttree.library import build_standard_fault_trees
+    from repro.faulttree.serialize import tree_to_dot
+
+    registry = build_standard_fault_trees()
+    if args.dot:
+        tree = registry.get(args.dot)
+        print(tree_to_dot(tree))
+        return 0
+    print("standard fault trees:")
+    for tree_id, info in sorted(registry.stats().items()):
+        print(f"  {tree_id:22s} nodes={info['nodes']:3d} leaves={info['leaves']:3d}"
+              f" variables={','.join(info['variables']) or '-'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="POD-Diagnosis (DSN 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="clean + faulty upgrade with diagnosis output")
+    demo.add_argument("--cluster", type=int, default=4, help="cluster size (default 4)")
+    demo.add_argument("--seed", type=int, default=1)
+    demo.set_defaults(func=_cmd_demo)
+
+    campaign = sub.add_parser("campaign", help="run the fault-injection campaign")
+    campaign.add_argument("--runs", type=int, default=20, help="runs per fault type")
+    campaign.add_argument("--seed", type=int, default=2014)
+    campaign.add_argument("--json", help="write metrics JSON to this path")
+    campaign.add_argument("--report", help="write a Markdown report to this path")
+    campaign.add_argument("--verbose", action="store_true")
+    campaign.set_defaults(func=_cmd_campaign)
+
+    mine = sub.add_parser("mine", help="discover the process model from fresh logs")
+    mine.add_argument("--runs", type=int, default=3)
+    mine.add_argument("--seed", type=int, default=500)
+    mine.add_argument("--dot", action="store_true", help="print Graphviz DOT")
+    mine.set_defaults(func=_cmd_mine)
+
+    trees = sub.add_parser("trees", help="inventory the standard fault trees")
+    trees.add_argument("--dot", metavar="TREE_ID", help="print one tree as Graphviz DOT")
+    trees.set_defaults(func=_cmd_trees)
+
+    return parser
+
+
+def main(argv: _t.Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

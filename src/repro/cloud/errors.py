@@ -1,0 +1,97 @@
+"""AWS-style error hierarchy.
+
+The paper's related-work section points at the AWS EC2 API error-code
+catalogue as one of the heterogeneous error channels operations must cope
+with.  We reproduce the codes POD-Diagnosis encounters so that the
+consistent-API layer and fault trees can branch on them exactly as the
+paper describes (retry on throttling/staleness, diagnose on not-found,
+surface limit-exceeded as the "independent team" interference class).
+"""
+
+from __future__ import annotations
+
+
+class CloudError(Exception):
+    """Base class for all simulated cloud API errors.
+
+    ``code`` mirrors AWS error codes (e.g. ``InvalidAMIID.NotFound``);
+    ``retryable`` tells the consistent-API layer whether exponential retry
+    is worthwhile.
+    """
+
+    code = "InternalError"
+    retryable = False
+
+    def __init__(self, message: str, code: str | None = None) -> None:
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+
+    def __str__(self) -> str:
+        return f"{self.code}: {super().__str__()}"
+
+
+class ResourceNotFound(CloudError):
+    """A referenced resource does not exist (or is not yet visible)."""
+
+    code = "ResourceNotFound"
+
+    #: AWS uses per-type codes; map resource kinds to them.
+    CODES = {
+        "ami": "InvalidAMIID.NotFound",
+        "instance": "InvalidInstanceID.NotFound",
+        "security_group": "InvalidGroup.NotFound",
+        "key_pair": "InvalidKeyPair.NotFound",
+        "launch_configuration": "LaunchConfigurationNotFound",
+        "auto_scaling_group": "AutoScalingGroupNotFound",
+        "load_balancer": "LoadBalancerNotFound",
+    }
+
+    @classmethod
+    def of(cls, kind: str, identifier: str) -> "ResourceNotFound":
+        code = cls.CODES.get(kind, cls.code)
+        return cls(f"{kind} {identifier!r} does not exist", code=code)
+
+
+class MalformedRequest(CloudError):
+    """Request validation failed before touching any resource."""
+
+    code = "ValidationError"
+
+
+class LimitExceeded(CloudError):
+    """An account limit was hit (e.g. max instances in a region).
+
+    The paper's fourth wrong-diagnosis class came from the *other team*
+    exhausting the shared account's instance limit — a root cause their
+    fault tree initially lacked.
+    """
+
+    code = "InstanceLimitExceeded"
+
+
+class Throttling(CloudError):
+    """API request-rate limit exceeded; always retryable."""
+
+    code = "Throttling"
+    retryable = True
+
+
+class ServiceUnavailable(CloudError):
+    """Transient service disruption (the paper cites the Dec-2012 ELB
+    outage caused by 'missing ELB state data')."""
+
+    code = "ServiceUnavailable"
+    retryable = True
+
+
+class ResourceInUse(CloudError):
+    """Deletion refused because the resource is referenced elsewhere."""
+
+    code = "ResourceInUse"
+
+
+class DependencyViolation(CloudError):
+    """Operation violates a dependency (e.g. SG still attached)."""
+
+    code = "DependencyViolation"

@@ -1,0 +1,175 @@
+"""Fault-injection hooks on the simulated cloud.
+
+These are the *mechanisms*; the evaluation campaign (`repro.evaluation`)
+decides which fault to inject into which run, when, and whether the fault
+is transient (reverted shortly after injection — the paper's third
+wrong-diagnosis class).
+
+Each injector mutates cloud state exactly the way the corresponding real
+event would: a concurrent team swapping the launch configuration's AMI, a
+key pair deleted by an operator, an ELB service disruption, etc.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cloud.state import CloudState
+
+
+@dataclasses.dataclass
+class InjectionRecord:
+    """Bookkeeping for one injected fault (ground truth for metrics)."""
+
+    time: float
+    fault_type: str
+    target: str
+    details: dict
+    reverted_at: float | None = None
+
+
+class FaultInjector:
+    """Mutates cloud state to realise the paper's 8 fault types."""
+
+    def __init__(self, engine, state: CloudState, trail=None) -> None:
+        self.engine = engine
+        self.state = state
+        #: Chaos actions are themselves API calls from *someone*; with a
+        #: CloudTrail attached, random terminations leave delayed audit
+        #: records — which is what lets offline analysis attribute them.
+        self.trail = trail
+        self.injections: list[InjectionRecord] = []
+
+    def _log(self, fault_type: str, target: str, **details) -> InjectionRecord:
+        record = InjectionRecord(
+            time=self.engine.now, fault_type=fault_type, target=target, details=details
+        )
+        self.injections.append(record)
+        return record
+
+    # -- configuration faults (1-4): logs stay normal ---------------------
+
+    def change_lc_ami(self, lc_name: str, rogue_image_id: str) -> InjectionRecord:
+        """Fault 1 — AMI changed during upgrade (mixed-version hazard)."""
+        lc = self.state.get("launch_configuration", lc_name)
+        original = lc.image_id
+        lc.image_id = rogue_image_id
+        self.state.record_write("launch_configuration", lc_name, self.engine.now)
+        return self._log("AMI_CHANGED", lc_name, original=original, rogue=rogue_image_id)
+
+    def change_lc_key_pair(self, lc_name: str, rogue_key_name: str) -> InjectionRecord:
+        """Fault 2 — key pair management fault (wrong key in the LC)."""
+        lc = self.state.get("launch_configuration", lc_name)
+        original = lc.key_name
+        lc.key_name = rogue_key_name
+        self.state.record_write("launch_configuration", lc_name, self.engine.now)
+        return self._log("KEYPAIR_WRONG", lc_name, original=original, rogue=rogue_key_name)
+
+    def change_lc_security_group(self, lc_name: str, rogue_group: str) -> InjectionRecord:
+        """Fault 3 — security group configuration fault."""
+        lc = self.state.get("launch_configuration", lc_name)
+        original = list(lc.security_groups)
+        lc.security_groups = [rogue_group]
+        self.state.record_write("launch_configuration", lc_name, self.engine.now)
+        return self._log("SG_WRONG", lc_name, original=original, rogue=rogue_group)
+
+    def change_lc_instance_type(self, lc_name: str, rogue_type: str) -> InjectionRecord:
+        """Fault 4 — instance type changed during upgrade."""
+        lc = self.state.get("launch_configuration", lc_name)
+        original = lc.instance_type
+        lc.instance_type = rogue_type
+        self.state.record_write("launch_configuration", lc_name, self.engine.now)
+        return self._log("INSTANCE_TYPE_CHANGED", lc_name, original=original, rogue=rogue_type)
+
+    # -- resource faults (5-8): launches / registrations fail --------------
+
+    def make_ami_unavailable(self, image_id: str) -> InjectionRecord:
+        """Fault 5 — AMI deregistered mid-upgrade."""
+        if self.state.exists("ami", image_id):
+            image = self.state.get("ami", image_id)
+            image.available = False
+            self.state.delete("ami", image_id, self.engine.now)
+        return self._log("AMI_UNAVAILABLE", image_id)
+
+    def make_key_pair_unavailable(self, key_name: str) -> InjectionRecord:
+        """Fault 6 — key pair deleted mid-upgrade."""
+        if self.state.exists("key_pair", key_name):
+            self.state.delete("key_pair", key_name, self.engine.now)
+        return self._log("KEYPAIR_UNAVAILABLE", key_name)
+
+    def make_security_group_unavailable(self, group_name: str) -> InjectionRecord:
+        """Fault 7 — security group deleted mid-upgrade."""
+        if self.state.exists("security_group", group_name):
+            self.state.delete("security_group", group_name, self.engine.now)
+        return self._log("SG_UNAVAILABLE", group_name)
+
+    def make_elb_unavailable(self, elb_name: str) -> InjectionRecord:
+        """Fault 8 — ELB service disruption (cf. the Dec-2012 ELB outage)."""
+        if self.state.exists("load_balancer", elb_name):
+            elb = self.state.get("load_balancer", elb_name)
+            elb.available = False
+            self.state.record_write("load_balancer", elb_name, self.engine.now)
+        return self._log("ELB_UNAVAILABLE", elb_name)
+
+    # -- reverts (transient faults) -----------------------------------------
+
+    def revert(self, record: InjectionRecord) -> None:
+        """Undo an injection — models the transient-fault class where the
+        root cause has vanished by the time diagnosis tests run."""
+        now = self.engine.now
+        handlers: dict[str, _t.Callable[[InjectionRecord], None]] = {
+            "AMI_CHANGED": self._revert_lc_field("image_id"),
+            "KEYPAIR_WRONG": self._revert_lc_field("key_name"),
+            "SG_WRONG": self._revert_lc_field("security_groups"),
+            "INSTANCE_TYPE_CHANGED": self._revert_lc_field("instance_type"),
+            "ELB_UNAVAILABLE": self._revive_elb,
+        }
+        handler = handlers.get(record.fault_type)
+        if handler is None:
+            raise ValueError(f"fault type {record.fault_type} is not revertible")
+        handler(record)
+        record.reverted_at = now
+
+    def _revert_lc_field(self, field: str) -> _t.Callable[[InjectionRecord], None]:
+        def undo(record: InjectionRecord) -> None:
+            if not self.state.exists("launch_configuration", record.target):
+                return
+            lc = self.state.get("launch_configuration", record.target)
+            setattr(lc, field, record.details["original"])
+            self.state.record_write("launch_configuration", record.target, self.engine.now)
+
+        return undo
+
+    def _revive_elb(self, record: InjectionRecord) -> None:
+        if self.state.exists("load_balancer", record.target):
+            elb = self.state.get("load_balancer", record.target)
+            elb.available = True
+            self.state.record_write("load_balancer", record.target, self.engine.now)
+
+    # -- interference (not counted as injected faults) -----------------------
+
+    def terminate_random_instance(self, asg_name: str, rng) -> str | None:
+        """Randomly kill a running instance — the paper's 'uncertainty of
+        cloud infrastructure' confounder."""
+        candidates = self.state.running_instances(asg_name)
+        if not candidates:
+            return None
+        victim = rng.choice(candidates)
+        victim.state = self.state.get("instance", victim.instance_id).state
+        instance = self.state.get("instance", victim.instance_id)
+        from repro.cloud.resources import InstanceState
+
+        instance.state = InstanceState.TERMINATED
+        instance.terminate_time = self.engine.now
+        self.state.record_write("instance", victim.instance_id, self.engine.now)
+        for elb in self.state.load_balancers.values():
+            if victim.instance_id in elb.registered_instances:
+                elb.registered_instances.remove(victim.instance_id)
+                self.state.record_write("load_balancer", elb.name, self.engine.now)
+        if self.trail is not None:
+            self.trail.record(
+                "TerminateInstances", "chaos-script", {"InstanceId": victim.instance_id}
+            )
+        self._log("RANDOM_TERMINATION", victim.instance_id, asg=asg_name)
+        return victim.instance_id

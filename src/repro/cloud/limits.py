@@ -1,0 +1,52 @@
+"""Account limits and API rate limiting.
+
+Two of the paper's observed failure classes originate here:
+
+- the shared AWS account's *instance limit* being exhausted by the second,
+  independent team (wrong-diagnosis class 4 in §VI.A);
+- API *call limits imposed on a specific region of a single account*
+  (§V.A), which surface as ``Throttling`` errors the consistent-API layer
+  must absorb with exponential retry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class AccountLimits:
+    """Per-region account quota configuration."""
+
+    #: Maximum simultaneously active (pending or running) instances.
+    max_instances: int = 40
+    #: Maximum API calls within any sliding window of ``rate_window`` s.
+    max_calls_per_window: int = 1000
+    rate_window: float = 1.0
+
+
+class RateLimiter:
+    """Sliding-window API rate limiter.
+
+    Deterministic and cheap: keeps only call timestamps inside the current
+    window.  Shared between all users of the account — this is what lets a
+    simulated 'second team' starve the primary team of API throughput.
+    """
+
+    def __init__(self, limits: AccountLimits) -> None:
+        self.limits = limits
+        self._timestamps: list[float] = []
+
+    def try_acquire(self, now: float) -> bool:
+        """Record one call at ``now``; False means the caller is throttled."""
+        window_start = now - self.limits.rate_window
+        self._timestamps = [t for t in self._timestamps if t > window_start]
+        if len(self._timestamps) >= self.limits.max_calls_per_window:
+            return False
+        self._timestamps.append(now)
+        return True
+
+    def in_flight(self, now: float) -> int:
+        """Number of calls inside the current window (for metrics)."""
+        window_start = now - self.limits.rate_window
+        return sum(1 for t in self._timestamps if t > window_start)

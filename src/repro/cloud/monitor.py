@@ -1,0 +1,108 @@
+"""Edda-style cloud monitor.
+
+Netflix's Edda polls AWS and keeps timestamped snapshots of every
+resource, letting operators ask "what did this look like N minutes ago?".
+The paper's assertion evaluation consults such a monitor alongside direct
+API calls.  Our monitor is a periodic crawler process over the simulated
+region: it records full-region snapshots that diagnosis tests can query
+both for *current* state and for *history* (e.g. to notice a launch
+configuration changed and changed back — the transient-fault class).
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import typing as _t
+
+from repro.cloud.state import KINDS
+
+
+@dataclasses.dataclass
+class RegionSnapshot:
+    """One crawl: time plus the described form of every resource."""
+
+    taken_at: float
+    resources: dict[str, dict[str, dict]]  # kind -> id -> describe()
+
+    def get(self, kind: str, identifier: str) -> dict | None:
+        return self.resources.get(kind, {}).get(identifier)
+
+
+class CloudMonitor:
+    """Periodic snapshotting crawler (Edda substitute)."""
+
+    def __init__(self, engine, state, interval: float = 30.0, retention: int = 512) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.engine = engine
+        self.state = state
+        self.interval = interval
+        self.retention = retention
+        self.snapshots: list[RegionSnapshot] = []
+        self._running = False
+
+    def start(self) -> None:
+        """Begin crawling; takes an immediate snapshot then polls."""
+        if self._running:
+            return
+        self._running = True
+        self.engine.process(self._crawl_loop(), name="cloud-monitor")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _crawl_loop(self) -> _t.Generator:
+        while self._running:
+            self.take_snapshot()
+            yield self.engine.timeout(self.interval)
+
+    def take_snapshot(self) -> RegionSnapshot:
+        """Crawl the region now (also callable directly in tests)."""
+        resources: dict[str, dict[str, dict]] = {}
+        for kind in KINDS:
+            registry = self.state._registry(kind)
+            resources[kind] = {
+                identifier: copy.deepcopy(resource.describe())
+                for identifier, resource in registry.items()
+            }
+        snapshot = RegionSnapshot(taken_at=self.engine.now, resources=resources)
+        self.snapshots.append(snapshot)
+        if len(self.snapshots) > self.retention:
+            del self.snapshots[: len(self.snapshots) - self.retention]
+        return snapshot
+
+    # -- queries -----------------------------------------------------------
+
+    def current(self, kind: str, identifier: str) -> dict | None:
+        """Most recent crawled view of a resource."""
+        if not self.snapshots:
+            return None
+        return self.snapshots[-1].get(kind, identifier)
+
+    def at(self, when: float, kind: str, identifier: str) -> dict | None:
+        """View of a resource from the last snapshot at or before ``when``."""
+        best: RegionSnapshot | None = None
+        for snapshot in self.snapshots:
+            if snapshot.taken_at <= when:
+                best = snapshot
+            else:
+                break
+        return best.get(kind, identifier) if best else None
+
+    def changes(self, kind: str, identifier: str) -> list[tuple[float, dict | None]]:
+        """Distinct successive views of a resource across all snapshots.
+
+        Diagnosis uses this to detect flapping configuration — a value that
+        changed and later reverted (the paper's transient-fault class).
+        """
+        result: list[tuple[float, dict | None]] = []
+        previous: dict | None = None
+        seen_any = False
+        for snapshot in self.snapshots:
+            view = snapshot.get(kind, identifier)
+            if not seen_any or view != previous:
+                result.append((snapshot.taken_at, view))
+                previous = view
+                seen_any = True
+        return result

@@ -1,0 +1,158 @@
+"""Authoritative region state plus per-resource write history.
+
+``CloudState`` is the single source of truth the API mutates.  Every
+mutation also appends a timestamped snapshot to the resource's history;
+the eventual-consistency layer serves *reads* from that history, possibly
+lagging behind the latest write — exactly the behaviour that forced the
+paper to build a "consistent AWS API layer" with retries (§IV).
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import typing as _t
+
+from repro.cloud.errors import ResourceNotFound
+from repro.cloud.limits import AccountLimits, RateLimiter
+from repro.cloud.resources import (
+    AmiImage,
+    AutoScalingGroup,
+    Instance,
+    InstanceState,
+    KeyPair,
+    LaunchConfiguration,
+    LoadBalancer,
+    SecurityGroup,
+)
+
+KINDS = (
+    "ami",
+    "security_group",
+    "key_pair",
+    "launch_configuration",
+    "instance",
+    "load_balancer",
+    "auto_scaling_group",
+)
+
+
+class CloudState:
+    """All resources in one simulated region, with write history."""
+
+    def __init__(self, limits: AccountLimits | None = None, region: str = "ap-southeast-2") -> None:
+        self.region = region
+        self.limits = limits or AccountLimits()
+        self.rate_limiter = RateLimiter(self.limits)
+        self.amis: dict[str, AmiImage] = {}
+        self.security_groups: dict[str, SecurityGroup] = {}
+        self.key_pairs: dict[str, KeyPair] = {}
+        self.launch_configurations: dict[str, LaunchConfiguration] = {}
+        self.instances: dict[str, Instance] = {}
+        self.load_balancers: dict[str, LoadBalancer] = {}
+        self.auto_scaling_groups: dict[str, AutoScalingGroup] = {}
+        #: (kind, id) -> list of (write_time, describe-dict or None=deleted)
+        self._history: dict[tuple[str, str], list[tuple[float, dict | None]]] = {}
+        #: Scaling activities appended by the ASG controller; read through
+        #: the API's DescribeScalingActivities.
+        self.scaling_activities: list = []
+        self._id_counters = {kind: itertools.count(1) for kind in KINDS}
+
+    # -- registries ------------------------------------------------------
+
+    def _registry(self, kind: str) -> dict:
+        return {
+            "ami": self.amis,
+            "security_group": self.security_groups,
+            "key_pair": self.key_pairs,
+            "launch_configuration": self.launch_configurations,
+            "instance": self.instances,
+            "load_balancer": self.load_balancers,
+            "auto_scaling_group": self.auto_scaling_groups,
+        }[kind]
+
+    def get(self, kind: str, identifier: str):
+        """Authoritative (strongly consistent) lookup; raises if missing."""
+        registry = self._registry(kind)
+        if identifier not in registry:
+            raise ResourceNotFound.of(kind, identifier)
+        return registry[identifier]
+
+    def exists(self, kind: str, identifier: str) -> bool:
+        return identifier in self._registry(kind)
+
+    def new_id(self, kind: str) -> str:
+        prefix = {
+            "ami": "ami-",
+            "security_group": "sg-",
+            "key_pair": "key-",
+            "launch_configuration": "lc-",
+            "instance": "i-",
+            "load_balancer": "elb-",
+            "auto_scaling_group": "asg-",
+        }[kind]
+        return f"{prefix}{next(self._id_counters[kind]):08x}"
+
+    # -- mutation + history ----------------------------------------------
+
+    def put(self, kind: str, identifier: str, resource, now: float) -> None:
+        """Insert or replace a resource and record the write."""
+        self._registry(kind)[identifier] = resource
+        self.record_write(kind, identifier, now)
+
+    def delete(self, kind: str, identifier: str, now: float) -> None:
+        """Remove a resource and record a tombstone."""
+        registry = self._registry(kind)
+        if identifier not in registry:
+            raise ResourceNotFound.of(kind, identifier)
+        del registry[identifier]
+        self._history.setdefault((kind, identifier), []).append((now, None))
+
+    def record_write(self, kind: str, identifier: str, now: float) -> None:
+        """Snapshot a resource's current described form into its history.
+
+        Call after any in-place mutation so eventually-consistent readers
+        observe the change only once their lag elapses.
+        """
+        resource = self._registry(kind).get(identifier)
+        snapshot = copy.deepcopy(resource.describe()) if resource is not None else None
+        self._history.setdefault((kind, identifier), []).append((now, snapshot))
+
+    def history(self, kind: str, identifier: str) -> list[tuple[float, dict | None]]:
+        return list(self._history.get((kind, identifier), []))
+
+    def view_at(self, kind: str, identifier: str, as_of: float) -> dict | None:
+        """The resource's described form as of ``as_of`` (None = absent).
+
+        A resource never written before ``as_of`` is absent; a tombstone
+        makes it absent again.  This is the primitive the consistency
+        layer builds stale reads on.
+        """
+        snapshot: dict | None = None
+        for write_time, view in self._history.get((kind, identifier), []):
+            if write_time <= as_of:
+                snapshot = view
+            else:
+                break
+        return copy.deepcopy(snapshot) if snapshot is not None else None
+
+    # -- aggregates ------------------------------------------------------
+
+    def active_instance_count(self) -> int:
+        """Instances counting against the account limit."""
+        return sum(1 for i in self.instances.values() if i.state.is_active())
+
+    def running_instances(self, asg_name: str | None = None) -> list[Instance]:
+        result = [i for i in self.instances.values() if i.state == InstanceState.RUNNING]
+        if asg_name is not None:
+            result = [i for i in result if i.asg_name == asg_name]
+        return sorted(result, key=lambda i: i.instance_id)
+
+    def __repr__(self) -> str:
+        counts = ", ".join(f"{kind}={len(self._registry(kind))}" for kind in KINDS)
+        return f"CloudState({self.region}: {counts})"
+
+
+def snapshot_of(resources: _t.Iterable) -> list[dict]:
+    """Describe a collection of resources (helper for monitors)."""
+    return [r.describe() for r in resources]

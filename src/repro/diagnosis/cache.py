@@ -1,0 +1,34 @@
+"""Diagnostic-test result reuse.
+
+"If the check at a particular node has already been done, e.g. for an
+ancestor node, the diagnosis results are reused" (§III.B.4).  The cache is
+scoped to one diagnosis run: reusing across runs would be wrong because
+cloud state moves (indeed the paper's transient-fault wrong-diagnosis
+class exists precisely because state moves *within* a run).
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+
+class DiagnosisCache:
+    """Memo table keyed by a test's cache key."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple, _t.Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> _t.Any | None:
+        if key in self._entries:
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: tuple, value: _t.Any) -> None:
+        self._entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)

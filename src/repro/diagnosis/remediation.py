@@ -1,0 +1,169 @@
+"""Remediation advice: from root cause to targeted fix.
+
+The paper's introduction motivates diagnosis with the cost of the
+alternative: "the default recovery is usually a complete but equally
+risky rollback operation".  Knowing the root cause enables *fine-grained
+targeted healing* instead.  This module maps confirmed root causes to
+concrete remediation plans — the glue between POD-Diagnosis and the
+authors' follow-on recovery work.
+
+Plans are advisory objects (action name, human description, API calls it
+would make, and whether it is safe to automate).  ``apply`` executes the
+subset of plans that are safely automatable against the simulated cloud —
+e.g. reverting a corrupted launch configuration to the target state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass
+class RemediationPlan:
+    """One suggested fix for one root cause."""
+
+    cause_id: str
+    action: str
+    description: str
+    automatable: bool
+    #: (api method, args, kwargs) calls an automated apply would issue.
+    api_calls: list[tuple] = dataclasses.field(default_factory=list)
+
+
+#: cause node id -> (action, description template, automatable)
+_CATALOG: dict[str, tuple[str, str, bool]] = {
+    "wrong-ami": ("restore-launch-configuration",
+                  "Reset the ASG's launch configuration AMI to {expected_image_id}", True),
+    "lc-wrong-ami": ("restore-launch-configuration",
+                     "Reset the ASG's launch configuration AMI to {expected_image_id}", True),
+    "wrong-key-pair": ("restore-launch-configuration",
+                       "Reset the launch configuration key pair to {expected_key_name}", True),
+    "lc-wrong-key-pair": ("restore-launch-configuration",
+                          "Reset the launch configuration key pair to {expected_key_name}", True),
+    "wrong-security-group": ("restore-launch-configuration",
+                             "Reset the launch configuration security groups to"
+                             " {expected_security_groups}", True),
+    "lc-wrong-security-group": ("restore-launch-configuration",
+                                "Reset the launch configuration security groups to"
+                                " {expected_security_groups}", True),
+    "wrong-instance-type": ("restore-launch-configuration",
+                            "Reset the launch configuration instance type to"
+                            " {expected_instance_type}", True),
+    "lc-wrong-instance-type": ("restore-launch-configuration",
+                               "Reset the launch configuration instance type to"
+                               " {expected_instance_type}", True),
+    "ami-unavailable": ("restore-image",
+                        "Re-register or restore image {expected_image_id}; pause the"
+                        " upgrade until the image is available", False),
+    "lc-ami-missing": ("restore-image",
+                       "Re-register or restore image {expected_image_id}", False),
+    "key-pair-unavailable": ("recreate-key-pair",
+                             "Recreate key pair {expected_key_name} (new material;"
+                             " distribute to operators)", True),
+    "lc-key-missing": ("recreate-key-pair",
+                       "Recreate key pair {expected_key_name}", True),
+    "security-group-unavailable": ("recreate-security-group",
+                                   "Recreate security group {expected_security_group}"
+                                   " and re-apply its rules", True),
+    "lc-sg-missing": ("recreate-security-group",
+                      "Recreate security group {expected_security_group}", True),
+    "elb-unavailable": ("escalate-elb",
+                        "ELB {elb_name} is unavailable — escalate to the provider;"
+                        " consider pausing the upgrade", False),
+    "deviation-elb-unavailable": ("escalate-elb",
+                                  "ELB {elb_name} is unavailable — escalate to the provider", False),
+    "asg-scale-in": ("reconcile-capacity",
+                     "A concurrent scale-in changed desired capacity; confirm intent"
+                     " with the owning team, then restore desired capacity to {N}", False),
+    "account-limit-exceeded": ("free-capacity",
+                               "The account instance limit is exhausted; negotiate with"
+                               " the other teams or request a limit raise", False),
+    "instance-terminated-externally": ("investigate-termination",
+                                       "An instance was terminated outside the ASG; wait"
+                                       " for CloudTrail and run the offline post-mortem", False),
+    "transient-config-change": ("audit-change-control",
+                                "A transient configuration change occurred and was"
+                                " reverted; audit who is writing to {lc_name}", False),
+    "concurrent-upgrade": ("coordinate-teams",
+                           "Another deployment modified the launch configuration"
+                           " mid-upgrade; serialise the two releases", False),
+}
+
+
+def plan_for(cause_id: str, params: dict) -> RemediationPlan | None:
+    """The remediation plan for one root cause, or None if unknown."""
+    entry = _CATALOG.get(cause_id)
+    if entry is None:
+        return None
+    action, template, automatable = entry
+    try:
+        description = template.format(**{**_defaults(), **params})
+    except (KeyError, IndexError):
+        description = template
+    plan = RemediationPlan(
+        cause_id=cause_id, action=action, description=description, automatable=automatable
+    )
+    if action == "restore-launch-configuration":
+        changes = {}
+        if "ami" in cause_id:
+            changes["image_id"] = params.get("expected_image_id")
+        elif "key" in cause_id:
+            changes["key_name"] = params.get("expected_key_name")
+        elif "security-group" in cause_id:
+            changes["security_groups"] = list(params.get("expected_security_groups", []))
+        elif "instance-type" in cause_id:
+            changes["instance_type"] = params.get("expected_instance_type")
+        plan.api_calls = [("update_launch_configuration", (params.get("lc_name"),), changes)]
+    elif action == "recreate-key-pair":
+        plan.api_calls = [("create_key_pair", (params.get("expected_key_name"),), {})]
+    elif action == "recreate-security-group":
+        group = params.get("expected_security_group") or (
+            (params.get("expected_security_groups") or [None])[0]
+        )
+        plan.api_calls = [("create_security_group", (group,), {})]
+    return plan
+
+
+def _defaults() -> dict:
+    return {
+        "expected_image_id": "<target-ami>",
+        "expected_key_name": "<target-key>",
+        "expected_security_groups": "<target-sgs>",
+        "expected_security_group": "<target-sg>",
+        "expected_instance_type": "<target-type>",
+        "elb_name": "<elb>",
+        "lc_name": "<lc>",
+        "N": "<N>",
+    }
+
+
+def plans_for_report(report, params: dict) -> list[RemediationPlan]:
+    """Plans for every confirmed root cause of a diagnosis report,
+    deduplicated by action."""
+    plans: list[RemediationPlan] = []
+    seen_actions: set[str] = set()
+    for cause in report.root_causes:
+        plan = plan_for(cause.node_id, params)
+        if plan is None or plan.action in seen_actions:
+            continue
+        seen_actions.add(plan.action)
+        plans.append(plan)
+    return plans
+
+
+def apply(plan: RemediationPlan, api) -> list[str]:
+    """Execute an automatable plan's API calls; returns what was done.
+
+    Refuses non-automatable plans: those need a human decision (the same
+    conservatism the paper's operators exercise).
+    """
+    if not plan.automatable:
+        raise PermissionError(
+            f"plan {plan.action!r} is not automatable; human action required"
+        )
+    done = []
+    for method, args, kwargs in plan.api_calls:
+        getattr(api, method)(*args, **kwargs)
+        done.append(f"{method}{args}")
+    return done

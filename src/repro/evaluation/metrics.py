@@ -1,0 +1,193 @@
+"""Table I metrics: detection precision/recall, diagnosis accuracy rate.
+
+Definitions follow the paper exactly:
+
+- **TPdet** — detected real anomalies: every injected fault that was
+  detected, plus every concurrent-interference event whose effect was
+  detected (the paper's "46 interferences caused by concurrent
+  operations" count on the TP side of precision);
+- **FNdet** — injected faults that went undetected;
+- **FPdet** — detections whose diagnosis matches no real event (timer
+  timeouts on late logs, assertion races);
+- **Precision** = TP / (TP + FP); **Recall** = TP_faults / (TP_faults + FN);
+- **Accuracy rate** = Numcorrect / (TP + FP), where a detection is
+  correctly diagnosed if its report confirms the right root cause, and an
+  FP is correctly diagnosed if the report says "No root cause identified".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import typing as _t
+
+from repro.evaluation.campaign import RunOutcome
+from repro.evaluation.faults import FAULT_TYPES
+
+
+@dataclasses.dataclass
+class FaultTypeMetrics:
+    """One Fig. 7 column group."""
+
+    fault_type: str
+    runs: int = 0
+    tp: int = 0
+    fn: int = 0
+    fp: int = 0
+    interference_tp: int = 0
+    correct_diagnoses: int = 0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.interference_tp + self.fp
+        return (self.tp + self.interference_tp) / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 1.0
+
+    @property
+    def accuracy_rate(self) -> float:
+        denominator = self.tp + self.interference_tp + self.fp
+        return self.correct_diagnoses / denominator if denominator else 1.0
+
+
+@dataclasses.dataclass
+class CampaignMetrics:
+    """Aggregate + per-fault-type metrics for a finished campaign."""
+
+    per_fault: dict[str, FaultTypeMetrics]
+    total_runs: int
+    faults_injected: int
+    faults_detected: int
+    interference_events: int
+    interference_detected: int
+    false_positives: int
+    correct_diagnoses: int
+    diagnosis_times: list[float]
+    detection_latencies: list[float]
+    conformance_first_runs: int
+    conformance_eligible_runs: int
+
+    @property
+    def tp(self) -> int:
+        return self.faults_detected + self.interference_detected
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.false_positives
+        return self.tp / denominator if denominator else 1.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.faults_detected + (self.faults_injected - self.faults_detected)
+        return self.faults_detected / denominator if denominator else 1.0
+
+    @property
+    def accuracy_rate(self) -> float:
+        denominator = self.tp + self.false_positives
+        return self.correct_diagnoses / denominator if denominator else 1.0
+
+    def diagnosis_time_stats(self) -> dict[str, float]:
+        times = sorted(self.diagnosis_times)
+        if not times:
+            return {"min": 0.0, "mean": 0.0, "p95": 0.0, "max": 0.0}
+        return {
+            "min": times[0],
+            "mean": statistics.fmean(times),
+            "p95": times[min(len(times) - 1, int(round(0.95 * len(times))) )],
+            "max": times[-1],
+        }
+
+
+def _diagnosed_interference(outcome: RunOutcome) -> tuple[int, int]:
+    """(detected interference events, correctly diagnosed among them)."""
+    detected = outcome.interference_detected()
+    correct = 0
+    grouped = outcome.attributed_reports()
+    for truth in detected:
+        reports = grouped.get(truth, [])
+        # Scale-in / account-limit diagnoses must *confirm* their cause;
+        # a random termination counts as correctly handled even when the
+        # author stays undetermined — the paper explicitly could not
+        # diagnose those, so we score them the same way they did: as a
+        # detection whose root cause attribution failed.
+        if truth == "RANDOM_TERMINATION":
+            continue
+        if any(s == "confirmed" for r in reports for _n, s in r.causes):
+            correct += 1
+    return len(detected), correct
+
+
+def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
+    per_fault = {ft: FaultTypeMetrics(fault_type=ft) for ft in FAULT_TYPES}
+    diagnosis_times: list[float] = []
+    detection_latencies: list[float] = []
+    interference_events = 0
+    interference_detected_total = 0
+    conformance_first = 0
+    conformance_eligible = 0
+    total_correct = 0
+    total_fp = 0
+
+    for outcome in outcomes:
+        ft = outcome.spec.fault_type
+        bucket = per_fault.setdefault(ft, FaultTypeMetrics(fault_type=ft))
+        bucket.runs += 1
+        interference_truth = [t for t in outcome.truth if t != ft]
+        interference_events += len(interference_truth)
+
+        if outcome.fault_detected:
+            bucket.tp += 1
+        else:
+            bucket.fn += 1
+
+        detected_interference, correct_interference = _diagnosed_interference(outcome)
+        bucket.interference_tp += detected_interference
+        interference_detected_total += detected_interference
+
+        fps = outcome.false_positive_reports()
+        bucket.fp += len(fps)
+        total_fp += len(fps)
+
+        correct_here = 0
+        if outcome.fault_detected and outcome.fault_diagnosed_correctly():
+            correct_here += 1
+        correct_here += correct_interference
+        # An FP whose diagnosis honestly reports "no root cause" counts as
+        # accurate (Table I's note on FPdet).
+        correct_here += sum(1 for r in fps if r.no_root_cause)
+        bucket.correct_diagnoses += correct_here
+        total_correct += correct_here
+
+        diagnosis_times.extend(outcome.diagnosis_times())
+        if outcome.injected_at is not None and outcome.first_detection_at is not None:
+            latency = outcome.first_detection_at - outcome.injected_at
+            if latency >= 0:
+                detection_latencies.append(latency)
+        if ft in ("AMI_UNAVAILABLE", "KEYPAIR_UNAVAILABLE", "SG_UNAVAILABLE", "ELB_UNAVAILABLE"):
+            # The paper's 20-of-80 statistic concerns the *fault's* trace
+            # perturbation; interference perturbs traces of any fault
+            # type, so the statistic is computed on interference-free
+            # runs (and scaled mentally to the 80-run denominator).
+            conformance_eligible += 1
+            if outcome.conformance_before_assertion and not interference_truth:
+                conformance_first += 1
+
+    faults_injected = sum(b.runs for b in per_fault.values())
+    faults_detected = sum(b.tp for b in per_fault.values())
+    return CampaignMetrics(
+        per_fault=per_fault,
+        total_runs=len(outcomes),
+        faults_injected=faults_injected,
+        faults_detected=faults_detected,
+        interference_events=interference_events,
+        interference_detected=interference_detected_total,
+        false_positives=total_fp,
+        correct_diagnoses=total_correct,
+        diagnosis_times=diagnosis_times,
+        detection_latencies=detection_latencies,
+        conformance_first_runs=conformance_first,
+        conformance_eligible_runs=conformance_eligible,
+    )

@@ -1,0 +1,97 @@
+"""Instantiation and pruning of fault trees (§III.B.4).
+
+"When the Error Diagnosis is triggered, we firstly select the correct
+tree(s) according to the assertion that triggered the diagnosis.  Secondly
+we instantiate the variables in these trees with the parameters from the
+runtime request.  Then the associated process context from the request is
+used to prune sub-trees that are not relevant in that process context."
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+
+from repro.faulttree.tree import FaultNode, FaultTree
+
+_VAR = re.compile(r"\$(\w+)")
+
+
+def substitute(text: str, params: dict) -> str:
+    """Replace ``$var`` tokens with runtime parameters.
+
+    Unknown variables are left as-is: diagnosis can still proceed, the
+    corresponding test will simply report missing context (which is how
+    the paper's timer-only triggers end up with weak diagnoses).
+    """
+
+    def repl(match: re.Match) -> str:
+        key = match.group(1)
+        value = params.get(key)
+        return str(value) if value is not None else match.group(0)
+
+    return _VAR.sub(repl, text)
+
+
+def substitute_params(template: dict, params: dict) -> dict:
+    """Instantiate a test's parameter template.
+
+    String values get ``$var`` substitution; the literal value ``"$var"``
+    whose variable is missing stays unresolved (marker for weak context).
+    """
+    result: dict = {}
+    for key, value in template.items():
+        if isinstance(value, str):
+            result[key] = substitute(value, params)
+        else:
+            result[key] = value
+    return result
+
+
+def instantiate_node(node: FaultNode, params: dict) -> FaultNode:
+    copy = node.copy()
+    for n in copy.iter_nodes():
+        n.description = substitute(n.description, params)
+        if n.test is not None:
+            n.test.params = substitute_params(n.test.params, params)
+    return copy
+
+
+def prune_by_context(root: FaultNode, step: str | None) -> FaultNode | None:
+    """Drop subtrees scoped to steps other than the current one.
+
+    A node with an empty ``step_context`` is kept (context-free); a node
+    scoped to specific steps is kept only if the current step is among
+    them — or if no step is known at all (timer-triggered diagnosis has to
+    keep everything, which is exactly why it is slower and weaker).
+    Returns None if the node itself is pruned.
+    """
+    if step is not None and node_scoped_out(root, step):
+        return None
+    kept_children = []
+    for child in root.children:
+        kept = prune_by_context(child, step)
+        if kept is not None:
+            kept_children.append(kept)
+    root.children = kept_children
+    return root
+
+
+def node_scoped_out(node: FaultNode, step: str) -> bool:
+    return bool(node.step_context) and step not in node.step_context
+
+
+def instantiate_tree(tree: FaultTree, params: dict, step: str | None = None) -> FaultNode:
+    """Full instantiation: substitute variables, then prune by context.
+
+    The root itself is never pruned (the assertion did fail); only
+    subtrees are.
+    """
+    root = instantiate_node(tree.root, params)
+    kept_children = []
+    for child in root.children:
+        kept = prune_by_context(child, step)
+        if kept is not None:
+            kept_children.append(kept)
+    root.children = kept_children
+    return root

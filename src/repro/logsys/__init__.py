@@ -1,0 +1,37 @@
+"""Log substrate: the Logstash-style pipeline of the paper's Fig. 3.
+
+Operations write raw log lines to a :class:`LogStream`.  The *local log
+processor* — a pipeline of noise filter, process/assertion annotators,
+timer setter and trigger — turns matched lines into structured
+:class:`LogRecord` objects tagged with process context, fires conformance
+checking and assertion evaluation, and ships important lines to the
+*central log storage*.  A *central log processor* watches the merged logs
+for failure lines from any source and triggers error diagnosis.
+"""
+
+from repro.logsys.record import LogRecord, LogStream
+from repro.logsys.patterns import LogPattern, PatternLibrary
+from repro.logsys.filters import NoiseFilter
+from repro.logsys.annotator import AssertionAnnotator, ProcessAnnotator
+from repro.logsys.timers import OneOffTimer, PeriodicTimer, TimerSetter
+from repro.logsys.trigger import Trigger
+from repro.logsys.pipeline import LocalLogProcessor
+from repro.logsys.storage import CentralLogStorage
+from repro.logsys.central import CentralLogProcessor
+
+__all__ = [
+    "AssertionAnnotator",
+    "CentralLogProcessor",
+    "CentralLogStorage",
+    "LocalLogProcessor",
+    "LogPattern",
+    "LogRecord",
+    "LogStream",
+    "NoiseFilter",
+    "OneOffTimer",
+    "PatternLibrary",
+    "PeriodicTimer",
+    "ProcessAnnotator",
+    "TimerSetter",
+    "Trigger",
+]

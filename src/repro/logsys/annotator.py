@@ -1,0 +1,81 @@
+"""Annotators: attach process context and assertion bindings to log lines.
+
+The paper's local log processor "annotates the corresponding log lines
+with process context information" — process (model) id, process-instance
+(trace) id, step id, and step outcome — and marks which assertions the
+line should trigger.  Context is encoded as prefixed tags
+(``process:…``, ``trace:…``, ``step:…``, ``position:…``, ``assert:…``)
+plus extracted regex fields in ``@fields``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.logsys.patterns import Classification, PatternLibrary
+from repro.logsys.record import LogRecord
+
+
+class ProcessAnnotator:
+    """Tags records with process context derived from the pattern library."""
+
+    def __init__(
+        self,
+        library: PatternLibrary,
+        process_id: str,
+        trace_id: str | _t.Callable[[LogRecord], str],
+    ) -> None:
+        self.library = library
+        self.process_id = process_id
+        self._trace_id = trace_id
+
+    def trace_id_for(self, record: LogRecord) -> str:
+        if callable(self._trace_id):
+            return self._trace_id(record)
+        return self._trace_id
+
+    def annotate(self, record: LogRecord) -> Classification:
+        """Classify and tag one record; returns the classification."""
+        classification = self.library.classify(record.message)
+        record.add_tag(f"process:{self.process_id}")
+        record.add_tag(f"trace:{self.trace_id_for(record)}")
+        if classification.matched:
+            record.add_tag(f"step:{classification.activity}")
+            record.add_tag(f"position:{classification.pattern.position}")
+            if classification.pattern.is_error:
+                record.add_tag("known-error")
+            record.fields.update(classification.fields)
+        else:
+            record.add_tag("step:unclassified")
+        return classification
+
+
+class AssertionAnnotator:
+    """Tags records with the assertions their activity should trigger.
+
+    ``bindings`` maps ``(activity, position)`` to assertion ids — the
+    analyst-authored linkage between the process model and the assertion
+    library (§III.A: "we also provide an assertion library, which analysts
+    can use to link their assertions with the operation processes").
+    """
+
+    def __init__(self, bindings: dict[tuple[str, str], list[str]] | None = None) -> None:
+        self.bindings = dict(bindings or {})
+
+    def bind(self, activity: str, position: str, assertion_ids: _t.Iterable[str]) -> None:
+        key = (activity, position)
+        existing = self.bindings.setdefault(key, [])
+        for assertion_id in assertion_ids:
+            if assertion_id not in existing:
+                existing.append(assertion_id)
+
+    def annotate(self, record: LogRecord) -> list[str]:
+        """Tag the record; returns the assertion ids to evaluate."""
+        activity = record.tag_value("step")
+        position = record.tag_value("position")
+        if activity is None or position is None:
+            return []
+        assertion_ids = self.bindings.get((activity, position), [])
+        for assertion_id in assertion_ids:
+            record.add_tag(f"assert:{assertion_id}")
+        return list(assertion_ids)

@@ -1,0 +1,70 @@
+"""Noise filter: first stage of the local log processor (Fig. 3).
+
+"Noise filters drop any log line that is not relevant to the current
+operation process based on regular expressions" (§III.B.1).  Relevance is
+defined by the pattern library *plus* an allowlist of extra regexes (error
+lines from other components that should still reach conformance checking
+as 'unknown' events rather than be silently dropped).
+"""
+
+from __future__ import annotations
+
+import re
+import typing as _t
+
+from repro.logsys.patterns import PatternLibrary
+from repro.logsys.record import LogRecord
+
+
+class NoiseFilter:
+    """Decides whether a record continues down the pipeline."""
+
+    #: Chatter no operator process model cares about: framework polling,
+    #: debug/trace output, health-check noise.
+    DEFAULT_DROP_REGEXES = (
+        r"\bDEBUG\b",
+        r"\bTRACE\b",
+        r"polling .* for status",
+        r"heartbeat",
+    )
+
+    def __init__(
+        self,
+        library: PatternLibrary,
+        passthrough_regexes: _t.Iterable[str] = (),
+        drop_regexes: _t.Iterable[str] = DEFAULT_DROP_REGEXES,
+        passthrough_unmatched: bool = False,
+    ) -> None:
+        self.library = library
+        self.passthrough = [re.compile(r) for r in passthrough_regexes]
+        self.dropped = [re.compile(r) for r in drop_regexes]
+        #: When tailing the watched operation's *own* log, unmatched lines
+        #: are not noise — they are exactly the unusual lines conformance
+        #: checking must see (tagged ``conformance:unclassified``).  Noise
+        #: is then defined by the drop regexes alone.
+        self.passthrough_unmatched = passthrough_unmatched
+        self.dropped_count = 0
+        self.passed_count = 0
+
+    def accepts(self, record: LogRecord) -> bool:
+        """True if the record is relevant to the operation process."""
+        for regex in self.dropped:
+            if regex.search(record.message):
+                self.dropped_count += 1
+                return False
+        if self.library.classify(record.message).matched:
+            self.passed_count += 1
+            return True
+        if self.passthrough_unmatched:
+            self.passed_count += 1
+            return True
+        for regex in self.passthrough:
+            if regex.search(record.message):
+                self.passed_count += 1
+                return True
+        self.dropped_count += 1
+        return False
+
+    @property
+    def seen_count(self) -> int:
+        return self.dropped_count + self.passed_count

@@ -1,0 +1,96 @@
+"""Regex pattern library: log line → process activity + extracted fields.
+
+This is the artifact the paper derives semi-automatically during offline
+process mining: "from this information, i.e., sets of log lines and the
+corresponding activity names, we derived regular expressions matching the
+log lines" (§III.A).  A :class:`LogPattern` binds one regex to an activity
+name, a *position* within the activity (start/end/progress), and the named
+groups to lift into ``@fields``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import typing as _t
+
+#: Where in its activity a matching line sits. Annotation locations are
+#: "typically the beginning or the end of a process step" (§III.A).
+START = "start"
+END = "end"
+PROGRESS = "progress"
+
+
+@dataclasses.dataclass
+class LogPattern:
+    """One transformation rule: if regex matches, tag with activity."""
+
+    activity: str
+    regex: str
+    position: str = END
+    #: True for patterns matching *known error* lines (conformance:error).
+    is_error: bool = False
+    _compiled: re.Pattern = dataclasses.field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.position not in (START, END, PROGRESS):
+            raise ValueError(f"invalid position {self.position!r}")
+        self._compiled = re.compile(self.regex)
+
+    def match(self, message: str) -> dict | None:
+        """Named groups if the regex matches, else None."""
+        found = self._compiled.search(message)
+        if found is None:
+            return None
+        return {k: v for k, v in found.groupdict().items() if v is not None}
+
+
+@dataclasses.dataclass
+class Classification:
+    """Result of classifying one log line."""
+
+    pattern: LogPattern | None
+    fields: dict
+
+    @property
+    def matched(self) -> bool:
+        return self.pattern is not None
+
+    @property
+    def activity(self) -> str | None:
+        return self.pattern.activity if self.pattern else None
+
+
+class PatternLibrary:
+    """Ordered collection of patterns for one operation process.
+
+    Order matters: the first matching pattern wins, so more specific
+    regexes must precede catch-alls (same discipline Logstash filters use).
+    """
+
+    def __init__(self, patterns: _t.Iterable[LogPattern] = ()) -> None:
+        self.patterns: list[LogPattern] = list(patterns)
+
+    def add(self, pattern: LogPattern) -> None:
+        self.patterns.append(pattern)
+
+    def classify(self, message: str) -> Classification:
+        for pattern in self.patterns:
+            fields = pattern.match(message)
+            if fields is not None:
+                return Classification(pattern, fields)
+        return Classification(None, {})
+
+    def activities(self) -> list[str]:
+        """Distinct activity names, in first-seen order."""
+        seen: list[str] = []
+        for pattern in self.patterns:
+            if pattern.activity not in seen:
+                seen.append(pattern.activity)
+        return seen
+
+    def __len__(self) -> int:
+        return len(self.patterns)
+
+    def __iter__(self):
+        return iter(self.patterns)

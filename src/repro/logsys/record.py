@@ -1,0 +1,102 @@
+"""Structured log records and the streams that carry them.
+
+:class:`LogRecord` mirrors the Logstash event schema the paper's
+implementation section shows (``@source``, ``@tags``, ``@fields``,
+``@timestamp``, ``@message``, ``@type``): the original raw line is kept
+verbatim in ``message`` while annotations accumulate in ``tags`` and
+``fields`` — POD-Diagnosis is non-intrusive, it never rewrites the line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+
+@dataclasses.dataclass
+class LogRecord:
+    """One log event flowing through the pipeline."""
+
+    time: float
+    source: str
+    message: str
+    type: str = "operation"
+    tags: list[str] = dataclasses.field(default_factory=list)
+    fields: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
+    #: Rendered wall-clock-style timestamp (set by the emitter).
+    timestamp: str = ""
+
+    def add_tag(self, tag: str) -> None:
+        if tag not in self.tags:
+            self.tags.append(tag)
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def tag_value(self, prefix: str) -> str | None:
+        """Value of the first ``prefix:value`` tag, if any.
+
+        Process context is encoded Logstash-style as prefixed tags, e.g.
+        ``step:update_launch_configuration`` or ``conformance:fit``.
+        """
+        needle = prefix + ":"
+        for tag in self.tags:
+            if tag.startswith(needle):
+                return tag[len(needle):]
+        return None
+
+    def to_logstash(self) -> dict:
+        """Render in the @-prefixed Logstash JSON shape from §IV."""
+        return {
+            "@source": self.source,
+            "@tags": list(self.tags),
+            "@fields": dict(self.fields),
+            "@timestamp": self.timestamp,
+            "@message": self.message,
+            "@type": self.type,
+        }
+
+    def __str__(self) -> str:
+        tags = ",".join(self.tags)
+        return f"[{self.timestamp}] [{tags}] {self.message}"
+
+
+class LogStream:
+    """An append-only in-memory log file with live subscribers.
+
+    Stands in for the operation node's log file that the Logstash agent
+    tails: the emitter appends, subscribers (the local log processor) see
+    each record as it arrives.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.records: list[LogRecord] = []
+        self._subscribers: list[_t.Callable[[LogRecord], None]] = []
+
+    def subscribe(self, callback: _t.Callable[[LogRecord], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, record: LogRecord) -> LogRecord:
+        """Append a record and notify subscribers in order."""
+        self.records.append(record)
+        for callback in list(self._subscribers):
+            callback(record)
+        return record
+
+    def emit_line(self, clock, message: str, source: str | None = None, type: str = "operation") -> LogRecord:
+        """Convenience: build a record stamped with the virtual clock."""
+        record = LogRecord(
+            time=clock.now(),
+            source=source or self.name,
+            message=message,
+            type=type,
+            timestamp=clock.render(),
+        )
+        return self.emit(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)

@@ -1,0 +1,51 @@
+"""Operations: the orchestrator side (Asgard stand-in) plus interference.
+
+- :mod:`base` — the :class:`Operation` contract;
+- :mod:`steps` — canonical activity names of the rolling upgrade;
+- :mod:`rolling_upgrade` — the upgrade operation and its POD artifacts
+  (reference model, pattern library, bindings, watchdog);
+- :mod:`scaling` — scale-in/out operations;
+- :mod:`termination` — random-termination chaos process;
+- :mod:`interference` — the concurrent-activity scheduler and the second
+  team sharing the account.
+"""
+
+from repro.operations.base import Operation
+from repro.operations.bluegreen import (
+    BlueGreenOperation,
+    BlueGreenParams,
+    blue_green_profile,
+)
+from repro.operations.profile import OperationProfile, rolling_upgrade_profile
+from repro.operations.interference import InterferencePlan, InterferenceScheduler, SecondTeam
+from repro.operations.rolling_upgrade import (
+    RollingUpgradeOperation,
+    RollingUpgradeParams,
+    build_pattern_library,
+    install_watchdog,
+    reference_process_model,
+    standard_bindings,
+)
+from repro.operations.scaling import ScaleInOperation, ScaleOutOperation
+from repro.operations.termination import RandomTerminationProcess
+
+__all__ = [
+    "BlueGreenOperation",
+    "BlueGreenParams",
+    "InterferencePlan",
+    "OperationProfile",
+    "blue_green_profile",
+    "rolling_upgrade_profile",
+    "InterferenceScheduler",
+    "Operation",
+    "RandomTerminationProcess",
+    "RollingUpgradeOperation",
+    "RollingUpgradeParams",
+    "ScaleInOperation",
+    "ScaleOutOperation",
+    "SecondTeam",
+    "build_pattern_library",
+    "install_watchdog",
+    "reference_process_model",
+    "standard_bindings",
+]

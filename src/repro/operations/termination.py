@@ -1,0 +1,56 @@
+"""Random instance termination: infrastructure uncertainty (§V.B).
+
+"We also randomly terminated instances to increase the uncertainty of
+cloud infrastructure.  Our approach did detect such errors, but could not
+diagnose the root causes without information like which AWS API calls
+happened."
+"""
+
+from __future__ import annotations
+
+import random
+import typing as _t
+
+
+class RandomTerminationProcess:
+    """Kills random ASG members at exponentially distributed intervals."""
+
+    def __init__(
+        self,
+        engine,
+        injector,
+        asg_name: str,
+        mean_interval: float = 600.0,
+        seed: int = 0,
+        max_kills: int | None = None,
+    ) -> None:
+        if mean_interval <= 0:
+            raise ValueError("mean_interval must be positive")
+        self.engine = engine
+        self.injector = injector
+        self.asg_name = asg_name
+        self.mean_interval = mean_interval
+        self.max_kills = max_kills
+        self._rng = random.Random(seed)
+        self.kills: list[tuple[float, str]] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.engine.process(self._loop(), name=f"chaos-{self.asg_name}")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self) -> _t.Generator:
+        while self._running:
+            yield self.engine.timeout(self._rng.expovariate(1.0 / self.mean_interval))
+            if not self._running:
+                return
+            if self.max_kills is not None and len(self.kills) >= self.max_kills:
+                return
+            victim = self.injector.terminate_random_instance(self.asg_name, self._rng)
+            if victim is not None:
+                self.kills.append((self.engine.now, victim))

@@ -1,0 +1,217 @@
+"""The POD-Diagnosis service: Fig. 1 assembled.
+
+Wires together the log pipeline, conformance checking, assertion
+evaluation, fault trees and the diagnosis engine over a simulated cloud.
+One service instance watches one operation process type (here: rolling
+upgrade); call :meth:`watch` for each operation node's log stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.assertions.base import AssertionEnvironment
+from repro.assertions.consistent_api import ConsistentApiClient
+from repro.assertions.evaluation import AssertionEvaluationService
+from repro.assertions.library import standard_rolling_upgrade_assertions
+from repro.diagnosis.engine import DiagnosisEngine
+from repro.diagnosis.tests import build_standard_probes
+from repro.faulttree.library import build_standard_fault_trees
+from repro.logsys.annotator import ProcessAnnotator
+from repro.logsys.central import CentralLogProcessor
+from repro.logsys.filters import NoiseFilter
+from repro.logsys.pipeline import LocalLogProcessor
+from repro.logsys.record import LogStream
+from repro.logsys.storage import CentralLogStorage
+from repro.logsys.timers import TimerSetter
+from repro.logsys.trigger import Trigger
+from repro.operations.rolling_upgrade import (
+    build_pattern_library,
+    install_watchdog,
+    reference_process_model,
+)
+from repro.pod.config import PodConfig
+from repro.process.conformance import ConformanceChecker
+
+
+@dataclasses.dataclass
+class Detection:
+    """One detected anomaly (unit of the paper's precision/recall)."""
+
+    time: float
+    kind: str  # "assertion" | "conformance"
+    detail: str
+    cause: str  # trigger path for assertions; status for conformance
+    trace_id: str
+    step: str | None
+
+
+class PODDiagnosis:
+    """Process-Oriented Dependability Diagnosis over a simulated cloud."""
+
+    def __init__(
+        self,
+        cloud,
+        config: PodConfig,
+        model=None,
+        assertions: dict | None = None,
+        principal: str = "pod-diagnosis",
+        seed: int = 0,
+        profile=None,
+    ) -> None:
+        self.cloud = cloud
+        self.config = config
+        engine = cloud.engine
+        self.engine = engine
+        self.storage = CentralLogStorage()
+        if profile is None:
+            from repro.operations.profile import rolling_upgrade_profile
+
+            profile = rolling_upgrade_profile()
+        self.profile = profile
+        self.library = profile.library
+        self.model = model or profile.model
+
+        # Assertion evaluation (Fig. 4).  Latency streams are seeded per
+        # service instance so independent runs draw independent timings.
+        from repro.sim.latency import aws_api_latency
+
+        client = ConsistentApiClient(
+            engine, cloud.api(principal), latency=aws_api_latency(seed=seed + 101)
+        )
+        self.env = AssertionEnvironment(
+            engine=engine,
+            client=client,
+            monitor=cloud.monitor,
+            config=config.as_repository(),
+        )
+        # Extended observability surfaces for diagnostic probes.
+        self.env.state = cloud.state
+        self.env.trail = cloud.trail
+        self.env.operation_api_calls = cloud.api("asgard").calls
+        self.assertions = AssertionEvaluationService(
+            self.env, storage=self.storage, on_failure=self._on_assertion_failure
+        )
+        registry = assertions or standard_rolling_upgrade_assertions(
+            count_timeout=config.assertion_convergence_timeout,
+            elb_timeout=config.assertion_convergence_timeout,
+        )
+        self.assertions.register_all(registry)
+
+        # Error diagnosis (fault trees + probes).
+        self.trees = build_standard_fault_trees()
+        self.probes = build_standard_probes()
+        self.diagnosis = DiagnosisEngine(
+            engine,
+            self.trees,
+            self.assertions,
+            self.probes,
+            storage=self.storage,
+            seed=seed,
+            step_aliases=getattr(profile, "step_aliases", {}),
+        )
+
+        # Conformance checking.
+        self.conformance = ConformanceChecker(
+            self.model,
+            self.library,
+            clock=engine.clock,
+            storage=self.storage,
+            on_error=self._on_conformance_error,
+        )
+
+        # Timers (watchdog armed per watch()).
+        self.timers = TimerSetter(engine)
+        install_watchdog(
+            self.timers,
+            self.assertions,
+            interval=config.watchdog_interval,
+            slack=config.watchdog_slack,
+            assertion_ids=list(profile.watchdog_assertions),
+            start_activity=profile.watchdog_start,
+            end_activity=profile.watchdog_end,
+            align_activities=profile.watchdog_aligns,
+            name=f"{profile.profile_id}-watchdog",
+        )
+
+        # Central log processor for third-party failure lines.
+        self.central = CentralLogProcessor(self.storage, self.diagnosis.diagnose_external)
+
+        self.detections: list[Detection] = []
+        self.processors: list[LocalLogProcessor] = []
+
+    # -- wiring ------------------------------------------------------------------
+
+    def watch(self, stream: LogStream, trace_id: str) -> LocalLogProcessor:
+        """Attach a local log processor to one operation node's log."""
+        annotator = ProcessAnnotator(self.library, self.model.model_id, trace_id)
+        processor = LocalLogProcessor(
+            noise_filter=NoiseFilter(self.library, passthrough_unmatched=True),
+            process_annotator=annotator,
+            assertion_annotator=self.profile.bindings_factory(),
+            trigger=Trigger(
+                conformance=self.conformance.check,
+                assertions=self.assertions.trigger_from_log,
+            ),
+            storage=self.storage,
+            timer_setter=self.timers,
+        )
+        processor.attach(stream)
+        self.processors.append(processor)
+        return processor
+
+    # -- detection bookkeeping ------------------------------------------------------
+
+    def _on_assertion_failure(self, result) -> None:
+        self.detections.append(
+            Detection(
+                time=result.time,
+                kind="assertion",
+                detail=result.assertion_id,
+                cause=result.cause,
+                trace_id=result.context.trace_id if result.context else "unknown",
+                step=result.context.step if result.context else None,
+            )
+        )
+        self.diagnosis.diagnose_assertion_failure(result)
+
+    def _on_conformance_error(self, result) -> None:
+        self.detections.append(
+            Detection(
+                time=self.engine.now,
+                kind="conformance",
+                detail=result.status,
+                cause=result.status,
+                trace_id=result.trace_id,
+                step=result.activity,
+            )
+        )
+        self.diagnosis.diagnose_conformance_error(result)
+
+    # -- views -----------------------------------------------------------------------
+
+    @property
+    def reports(self) -> list:
+        return self.diagnosis.completed
+
+    def assertion_detections(self) -> list[Detection]:
+        return [d for d in self.detections if d.kind == "assertion"]
+
+    def conformance_detections(self) -> list[Detection]:
+        return [d for d in self.detections if d.kind == "conformance"]
+
+    def quiesce(self, max_extra: float = 300.0, step: float = 5.0) -> None:
+        """Run the simulation until in-flight evaluations/diagnoses drain.
+
+        The campaign calls this after an operation ends so every triggered
+        diagnosis completes before metrics are read.
+        """
+        deadline = self.engine.now + max_extra
+        while self.engine.now < deadline:
+            busy = self.assertions.in_flight > 0 or len(self.diagnosis.reports) > len(
+                self.diagnosis.completed
+            )
+            if not busy:
+                return
+            self.engine.run(until=min(self.engine.now + step, deadline))

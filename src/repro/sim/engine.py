@@ -1,0 +1,215 @@
+"""The discrete-event engine.
+
+A minimal, deterministic SimPy-style event loop.  Simulation *processes*
+are Python generators that ``yield`` :class:`~repro.sim.events.Event`
+objects; the engine resumes them when those events fire.  Determinism is
+guaranteed by a (time, priority, sequence) heap ordering — two runs with
+the same seed and the same schedule produce identical traces, which the
+evaluation harness relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import typing as _t
+
+from repro.sim.clock import SimClock
+from repro.sim.events import AnyOf, Event, Timeout
+
+#: Priority for ordinary events.
+NORMAL = 1
+#: Priority for urgent events (process resumption) at equal timestamps.
+URGENT = 0
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Engine.run` at a target event."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The paper's operations get cancelled by concurrent interference (e.g. a
+    scale-in terminating the instance an upgrade step is waiting on);
+    interrupts model that preemption.
+    """
+
+    def __init__(self, cause: _t.Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is itself an event: it fires when the generator finishes,
+    carrying the generator's return value — so processes can wait on each
+    other (``yield other_process``).
+    """
+
+    def __init__(self, engine: "Engine", generator: _t.Generator, name: str | None = None) -> None:
+        super().__init__(engine)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Event | None = None
+        # Kick off the process at the current time.
+        bootstrap = Event(engine)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: _t.Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            return
+        event = Event(self.engine)
+        event.callbacks.append(lambda _e: self._resume_with_interrupt(cause))
+        event.succeed()
+
+    def _resume_with_interrupt(self, cause: _t.Any) -> None:
+        if not self.is_alive:
+            return
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        self._step(lambda: self._generator.throw(Interrupt(cause)))
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        self._target = None
+        if event.ok:
+            self._step(lambda: self._generator.send(event.value))
+        else:
+            self._step(lambda: self._generator.throw(event.value))
+
+    def _step(self, advance: _t.Callable[[], _t.Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Interrupt escaped the generator: treat as normal termination.
+            self.succeed(None)
+            return
+        except Exception as exc:
+            # The process crashed. If somebody is waiting on it, deliver the
+            # exception to them (SimPy-style); otherwise it is a
+            # fire-and-forget process and the error must not vanish.
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+            )
+        self._target = target
+        target.callbacks.append(self._resume)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} {'alive' if self.is_alive else 'done'}>"
+
+
+class Engine:
+    """Deterministic discrete-event loop with a virtual clock."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now()
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int = NORMAL) -> None:
+        heapq.heappush(self._queue, (self.now + delay, priority, next(self._sequence), event))
+
+    def event(self) -> Event:
+        """Create a fresh untriggered event bound to this engine."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: _t.Any = None) -> Timeout:
+        """An event that fires ``delay`` virtual seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events: _t.Sequence[Event]) -> AnyOf:
+        """An event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def process(self, generator: _t.Generator, name: str | None = None) -> Process:
+        """Start a new simulation process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- execution -------------------------------------------------------
+
+    def step(self) -> None:
+        """Pop and dispatch the next event. Raises IndexError when empty."""
+        time, _priority, _seq, event = heapq.heappop(self._queue)
+        self.clock.advance_to(time)
+        event.processed = True
+        callbacks, event.callbacks = event.callbacks, []
+        for callback in callbacks:
+            callback(event)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: float | Event | None = None) -> _t.Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        - ``until=None``: run the queue to exhaustion.
+        - ``until=<float>``: run events up to and including that time, then
+          set the clock to exactly that time.
+        - ``until=<Event>``: run until that event fires; returns its value
+          (raising if the event failed).
+        """
+        if isinstance(until, Event):
+            sentinel = until
+
+            def _stop(_event: Event) -> None:
+                raise StopSimulation
+
+            if sentinel.triggered:
+                # Already fired; drain its pending callbacks first.
+                pass
+            sentinel.callbacks.append(_stop)
+            try:
+                while self._queue:
+                    self.step()
+            except StopSimulation:
+                if not sentinel.ok:
+                    raise sentinel.value
+                return sentinel.value
+            if sentinel.triggered:
+                if not sentinel.ok:
+                    raise sentinel.value
+                return sentinel.value
+            raise RuntimeError("event queue drained before `until` event fired")
+
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        horizon = float(until)
+        if horizon < self.now:
+            raise ValueError(f"cannot run until {horizon}: already at {self.now}")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self.clock.advance_to(horizon)
+        return None
+
+    def __repr__(self) -> str:
+        return f"Engine(now={self.now:.3f}, pending={len(self._queue)})"

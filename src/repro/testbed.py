@@ -1,0 +1,185 @@
+"""Testbed: one fully provisioned cluster + POD-Diagnosis + upgrade.
+
+Reproduces the paper's experiment setup (§V.B): an ASG-backed cluster of 4
+or 20 instances behind an ELB (standing in for the Redis/Logstash/
+ElasticSearch/Kibana log-monitoring application), Asgard-style rolling
+upgrade from version A to version B, and the POD-Diagnosis service
+watching the operation log.  Used by the examples, the integration tests
+and the evaluation campaign.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing as _t
+
+from repro.cloud.provider import SimulatedCloud
+from repro.cloud.limits import AccountLimits
+from repro.logsys.record import LogStream
+from repro.operations.base import COMPLETED as OP_COMPLETED, FAILED as OP_FAILED
+from repro.operations.rolling_upgrade import RollingUpgradeOperation, RollingUpgradeParams
+from repro.pod.config import PodConfig
+from repro.pod.service import PODDiagnosis
+
+#: The paper upgrades 1 node at a time on 4-instance clusters and 4 at a
+#: time on 20-instance clusters.
+BATCH_SIZE_BY_CLUSTER = {4: 1, 20: 4}
+
+
+@dataclasses.dataclass
+class AppStack:
+    """Names/ids of the provisioned application resources."""
+
+    asg_name: str
+    elb_name: str
+    key_name: str
+    security_group: str
+    instance_type: str
+    ami_v1: str
+    ami_v2: str
+    lc_v1: str
+    lc_v2: str
+
+
+class Testbed:
+    """A provisioned cluster with POD-Diagnosis attached."""
+
+    #: Not a test class, despite the name (pytest collection hint).
+    __test__ = False
+
+    def __init__(
+        self,
+        cluster_size: int = 4,
+        seed: int = 0,
+        max_instances: int = 40,
+        batch_size: int | None = None,
+        watchdog_interval: float | None = None,
+        mean_consistency_lag: float = 2.5,
+    ) -> None:
+        self.cluster_size = cluster_size
+        self.seed = seed
+        self.batch_size = batch_size or BATCH_SIZE_BY_CLUSTER.get(cluster_size, 1)
+        self.cloud = SimulatedCloud(
+            seed=seed,
+            limits=AccountLimits(max_instances=max_instances),
+            mean_consistency_lag=mean_consistency_lag,
+        )
+        self.engine = self.cloud.engine
+        self.stack = self._provision()
+        self.cloud.start()
+        # Let the initial fleet boot before anything else happens.
+        self.engine.run(until=300.0)
+
+        config_kwargs: dict = {}
+        if watchdog_interval is not None:
+            config_kwargs["watchdog_interval"] = watchdog_interval
+        elif self.batch_size > 1:
+            from repro.operations.rolling_upgrade import LARGE_BATCH_WATCHDOG_INTERVAL
+
+            config_kwargs["watchdog_interval"] = LARGE_BATCH_WATCHDOG_INTERVAL
+        self.pod_config = PodConfig(
+            asg_name=self.stack.asg_name,
+            elb_name=self.stack.elb_name,
+            desired_capacity=cluster_size,
+            expected_image_id=self.stack.ami_v2,
+            expected_key_name=self.stack.key_name,
+            expected_instance_type=self.stack.instance_type,
+            expected_security_groups=[self.stack.security_group],
+            lc_name=self.stack.lc_v2,
+            batch_size=self.batch_size,
+            operation_start=self.engine.now,
+            **config_kwargs,
+        )
+        self.pod = PODDiagnosis(self.cloud, self.pod_config, seed=seed)
+        self.stream = LogStream("asgard.log")
+        self.upgrade: RollingUpgradeOperation | None = None
+
+    # -- provisioning -----------------------------------------------------------
+
+    def _provision(self) -> AppStack:
+        api = self.cloud.api("setup")
+        ami_v1 = api.register_image("log-monitoring-app", "v1")["ImageId"]
+        ami_v2 = api.register_image("log-monitoring-app", "v2")["ImageId"]
+        api.create_key_pair("key-prod")
+        api.create_security_group("sg-web")
+        api.create_load_balancer("elb-dsn")
+        api.create_launch_configuration("lc-app-v1", ami_v1, "m1.small", "key-prod", ["sg-web"])
+        api.create_auto_scaling_group(
+            "asg-dsn",
+            "lc-app-v1",
+            min_size=max(1, self.cluster_size - 2),
+            max_size=self.cluster_size + 4,
+            desired_capacity=self.cluster_size,
+            load_balancer_names=["elb-dsn"],
+        )
+        return AppStack(
+            asg_name="asg-dsn",
+            elb_name="elb-dsn",
+            key_name="key-prod",
+            security_group="sg-web",
+            instance_type="m1.small",
+            ami_v1=ami_v1,
+            ami_v2=ami_v2,
+            lc_v1="lc-app-v1",
+            lc_v2="lc-app-v2",
+        )
+
+    # -- running an upgrade -----------------------------------------------------------
+
+    def start_upgrade(self, trace_id: str = "upgrade-1") -> RollingUpgradeOperation:
+        """Arm POD on the operation log and launch the rolling upgrade."""
+        if self.upgrade is not None:
+            raise RuntimeError("upgrade already started")
+        self.pod_config.operation_start = self.engine.now
+        self.pod.env.config["since"] = self.engine.now
+        self.pod.watch(self.stream, trace_id)
+        params = RollingUpgradeParams(
+            asg_name=self.stack.asg_name,
+            elb_name=self.stack.elb_name,
+            image_id=self.stack.ami_v2,
+            lc_name=self.stack.lc_v2,
+            instance_type="m1.small",
+            key_name=self.stack.key_name,
+            security_groups=[self.stack.security_group],
+            batch_size=self.batch_size,
+        )
+        client = self.cloud.client("asgard", latency_seed_offset=7)
+        self.upgrade = RollingUpgradeOperation(
+            self.engine, client, self.stream, params, trace_id
+        )
+        self.upgrade.start()
+        return self.upgrade
+
+    def run_upgrade(
+        self,
+        trace_id: str = "upgrade-1",
+        horizon: float = 5400.0,
+        settle: float = 60.0,
+        stop_when: _t.Callable[["Testbed"], bool] | None = None,
+    ) -> RollingUpgradeOperation:
+        """Run the upgrade to completion/failure (or ``stop_when``).
+
+        ``settle`` extra seconds are simulated afterwards so in-flight
+        assertion evaluations and diagnoses finish before callers read
+        metrics.
+        """
+        operation = self.start_upgrade(trace_id)
+        deadline = self.engine.now + horizon
+        while self.engine.now < deadline:
+            if operation.status in (OP_COMPLETED, OP_FAILED):
+                break
+            if stop_when is not None and stop_when(self):
+                break
+            self.engine.run(until=min(self.engine.now + 10.0, deadline))
+        self.pod.timers.stop_all()
+        self.engine.run(until=self.engine.now + settle)
+        self.pod.quiesce()
+        return operation
+
+
+def build_testbed(cluster_size: int = 4, seed: int = 0, **kwargs) -> Testbed:
+    """Convenience constructor mirroring the paper's two cluster sizes."""
+    if cluster_size not in (4, 20):
+        # Any size works; the paper evaluated 4 and 20.
+        pass
+    return Testbed(cluster_size=cluster_size, seed=seed, **kwargs)

@@ -1,0 +1,126 @@
+"""Tests for the consistent AWS API layer (§IV)."""
+
+import pytest
+
+from repro.assertions.consistent_api import ConsistentApiClient, ConsistentCallError
+from repro.cloud.errors import ResourceNotFound, ServiceUnavailable, Throttling
+from repro.sim.latency import ConstantLatency
+
+
+class FlakyApi:
+    """Scripted API double: raises the queued errors, then returns."""
+
+    def __init__(self, errors=(), result="ok"):
+        self.errors = list(errors)
+        self.result = result
+        self.calls = 0
+
+    def operation(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return self.result
+
+
+def client_for(engine, api, **kwargs):
+    kwargs.setdefault("latency", ConstantLatency(0.05))
+    return ConsistentApiClient(engine, api, **kwargs)
+
+
+def drive(engine, generator):
+    return engine.run(until=engine.process(generator))
+
+
+class TestCall:
+    def test_plain_success(self, engine):
+        api = FlakyApi()
+        client = client_for(engine, api)
+        assert drive(engine, client.call("operation")) == "ok"
+        assert client.calls_made == 1
+
+    def test_retries_retryable_errors(self, engine):
+        api = FlakyApi(errors=[Throttling("slow down"), ServiceUnavailable("oops")])
+        client = client_for(engine, api)
+        assert drive(engine, client.call("operation")) == "ok"
+        assert api.calls == 3
+        assert client.retries_made == 2
+
+    def test_exponential_backoff_advances_time(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 3)
+        client = client_for(engine, api, base_backoff=0.2)
+        drive(engine, client.call("operation"))
+        # 4 calls x 0.05 latency + backoffs 0.2 + 0.4 + 0.8.
+        assert engine.now == pytest.approx(0.05 * 4 + 1.4)
+
+    def test_non_retryable_raises_immediately(self, engine):
+        api = FlakyApi(errors=[ResourceNotFound.of("ami", "ami-1")])
+        client = client_for(engine, api)
+        with pytest.raises(ResourceNotFound):
+            drive(engine, client.call("operation"))
+        assert api.calls == 1
+
+    def test_retries_exhausted(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 50)
+        client = client_for(engine, api, max_retries=2, call_timeout=1000)
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call("operation"))
+        assert not excinfo.value.timed_out
+        assert isinstance(excinfo.value.last_error, Throttling)
+
+    def test_deadline_expiry_flags_timeout(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 50)
+        client = client_for(engine, api, max_retries=100, call_timeout=0.5, base_backoff=0.3)
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call("operation"))
+        assert excinfo.value.timed_out
+        assert client.timeouts == 1
+
+    def test_default_timeout_from_percentile(self, engine):
+        from repro.sim.latency import LogNormalLatency
+
+        client = ConsistentApiClient(
+            engine, FlakyApi(), latency=LogNormalLatency(median=0.1, sigma=0.3)
+        )
+        assert client.call_timeout > 0.1
+
+
+class TestCallUntil:
+    def test_waits_for_predicate(self, engine):
+        api = FlakyApi(result=3)
+        values = iter([1, 2, 3])
+
+        class Counting:
+            def operation(self):
+                return next(values)
+
+        client = client_for(engine, Counting())
+        result = drive(
+            engine, client.call_until("operation", predicate=lambda v: v == 3, timeout=60)
+        )
+        assert result == 3
+
+    def test_timeout_when_predicate_never_holds(self, engine):
+        client = client_for(engine, FlakyApi(result="never-right"))
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(
+                engine,
+                client.call_until("operation", predicate=lambda v: False, timeout=3.0),
+            )
+        assert excinfo.value.timed_out
+
+    def test_not_found_treated_as_staleness_until_deadline(self, engine):
+        """A missing resource may just be a stale replica — retry, then
+        surface the error at the deadline."""
+        api = FlakyApi(errors=[ResourceNotFound.of("ami", "a")] * 50)
+        client = client_for(engine, api)
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call_until("operation", predicate=lambda v: True, timeout=2.0))
+        assert isinstance(excinfo.value.last_error, ResourceNotFound)
+
+    def test_resource_appearing_late_succeeds(self, engine):
+        api = FlakyApi(errors=[ResourceNotFound.of("ami", "a")] * 2, result="found")
+        client = client_for(engine, api)
+        result = drive(
+            engine, client.call_until("operation", predicate=lambda v: v == "found", timeout=30)
+        )
+        assert result == "found"

@@ -1,0 +1,95 @@
+"""Tests for automatic assertion generation (future-work feature)."""
+
+import pytest
+
+from repro.assertions.generation import (
+    calibrate_watchdog,
+    generate_assertions,
+    measure_step_gaps,
+)
+from repro.assertions.spec import parse_assertion_spec
+from repro.operations.rolling_upgrade import build_pattern_library, reference_process_model
+from repro.operations.steps import COMPLETED, READY
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_assertions(reference_process_model(), build_pattern_library())
+
+
+class TestGeneration:
+    def test_loop_closer_gets_instance_check(self, generated):
+        assert "new-instance-correct-version" in generated.bindings.bindings[(READY, "end")]
+
+    def test_loop_closer_gets_fleet_checks(self, generated):
+        bound = generated.bindings.bindings[(READY, "end")]
+        assert "asg-has-n-instances" in bound
+        assert "elb-has-registered-instances" in bound
+
+    def test_final_step_gets_regression_checks(self, generated):
+        bound = generated.bindings.bindings[(COMPLETED, "end")]
+        assert "asg-has-n-new-version-instances" in bound
+        assert "asg-uses-correct-config" in bound
+        assert "key-pair-exists" in bound
+        assert "load-balancer-exists" in bound
+
+    def test_specs_are_deduplicated(self, generated):
+        assert len(generated.specs) == len(set(generated.specs))
+
+    def test_every_generated_spec_parses(self, generated):
+        for spec in generated.specs:
+            assertion, _params = parse_assertion_spec(spec)
+            assert assertion is not None
+
+    def test_notes_explain_choices(self, generated):
+        assert any("loop-closing" in n for n in generated.notes)
+        assert any("final" in n for n in generated.notes)
+
+    def test_defaults_used_without_history(self, generated):
+        from repro.operations.rolling_upgrade import DEFAULT_WATCHDOG_INTERVAL
+
+        assert generated.watchdog_interval == DEFAULT_WATCHDOG_INTERVAL
+
+
+class TestCalibration:
+    def test_p95_calibration(self):
+        samples = list(range(1, 101))  # 1..100
+        interval, slack = calibrate_watchdog(samples)
+        assert interval == 95
+        assert slack == pytest.approx(95 * 0.06)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_watchdog([1.0] * 5)
+
+    def test_generation_uses_history_when_given(self):
+        generated = generate_assertions(
+            reference_process_model(),
+            build_pattern_library(),
+            gap_samples=[float(g) for g in range(100, 200)],
+        )
+        assert 185.0 <= generated.watchdog_interval <= 199.0
+        assert any("calibrated" in n for n in generated.notes)
+
+
+class TestGapMeasurement:
+    def test_gaps_from_real_run(self):
+        from repro.testbed import build_testbed
+
+        testbed = build_testbed(cluster_size=4, seed=303)
+        testbed.run_upgrade()
+        gaps = measure_step_gaps(testbed.stream.records, build_pattern_library())
+        # 4-instance upgrade: ~8 end-position lines -> ~7 gaps.
+        assert len(gaps) >= 6
+        assert all(g >= 0 for g in gaps)
+        # The dominant gaps are the instance replacements (minutes scale).
+        assert max(gaps) > 60
+
+    def test_non_end_lines_ignored(self):
+        from repro.logsys.record import LogRecord
+
+        records = [
+            LogRecord(time=0.0, source="s", message="Waiting for group asg-x to start a new instance"),
+            LogRecord(time=50.0, source="s", message="Status info: 1 of 4 instance relaunches done"),
+        ]
+        assert measure_step_gaps(records, build_pattern_library()) == []

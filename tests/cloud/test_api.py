@@ -1,0 +1,217 @@
+"""Tests for the simulated cloud API."""
+
+import pytest
+
+from repro.cloud.errors import (
+    MalformedRequest,
+    ResourceNotFound,
+    ServiceUnavailable,
+    Throttling,
+)
+from repro.cloud.limits import AccountLimits
+from repro.cloud.provider import SimulatedCloud
+
+
+@pytest.fixture
+def api(cloud):
+    return cloud.api("tester")
+
+
+class TestImages:
+    def test_register_and_describe(self, api):
+        image = api.register_image("app", "v1")
+        described = api.describe_image(image["ImageId"], consistent=True)
+        assert described["Version"] == "v1"
+        assert described["State"] == "available"
+
+    def test_describe_missing_raises(self, api):
+        with pytest.raises(ResourceNotFound):
+            api.describe_image("ami-nope", consistent=True)
+
+    def test_deregister_makes_unavailable(self, api):
+        image = api.register_image("app", "v1")
+        api.deregister_image(image["ImageId"])
+        with pytest.raises(ResourceNotFound):
+            api.describe_image(image["ImageId"], consistent=True)
+
+
+class TestSecurityGroupsAndKeys:
+    def test_security_group_lifecycle(self, api):
+        api.create_security_group("web", description="frontend")
+        assert api.describe_security_group("web", consistent=True)["Description"] == "frontend"
+        api.delete_security_group("web")
+        with pytest.raises(ResourceNotFound):
+            api.describe_security_group("web", consistent=True)
+
+    def test_key_pair_lifecycle(self, api):
+        created = api.create_key_pair("prod")
+        assert created["KeyFingerprint"]
+        api.delete_key_pair("prod")
+        with pytest.raises(ResourceNotFound):
+            api.describe_key_pair("prod", consistent=True)
+
+    def test_delete_missing_key_raises(self, api):
+        with pytest.raises(ResourceNotFound):
+            api.delete_key_pair("ghost")
+
+
+class TestLaunchConfigurations:
+    def test_create_and_describe(self, api):
+        ami = api.register_image("app", "v1")["ImageId"]
+        api.create_launch_configuration("lc-1", ami, "m1.small", "k", ["sg"])
+        lc = api.describe_launch_configuration("lc-1", consistent=True)
+        assert lc["ImageId"] == ami
+        assert lc["SecurityGroups"] == ["sg"]
+
+    def test_duplicate_name_rejected(self, api):
+        ami = api.register_image("app", "v1")["ImageId"]
+        api.create_launch_configuration("lc-1", ami, "m1.small", "k", [])
+        with pytest.raises(MalformedRequest):
+            api.create_launch_configuration("lc-1", ami, "m1.small", "k", [])
+
+    def test_update_unknown_field_rejected(self, api):
+        ami = api.register_image("app", "v1")["ImageId"]
+        api.create_launch_configuration("lc-1", ami, "m1.small", "k", [])
+        with pytest.raises(MalformedRequest):
+            api.update_launch_configuration("lc-1", bogus_field=1)
+
+    def test_update_records_history(self, cloud, api):
+        ami = api.register_image("app", "v1")["ImageId"]
+        api.create_launch_configuration("lc-1", ami, "m1.small", "k", [])
+        api.update_launch_configuration("lc-1", instance_type="m1.large")
+        history = cloud.state.history("launch_configuration", "lc-1")
+        assert len(history) == 2
+        assert history[-1][1]["InstanceType"] == "m1.large"
+
+
+class TestAutoScalingGroups:
+    def _stack(self, api):
+        ami = api.register_image("app", "v1")["ImageId"]
+        api.create_launch_configuration("lc-1", ami, "m1.small", "k", [])
+        return ami
+
+    def test_create_validates_sizes(self, api):
+        self._stack(api)
+        with pytest.raises(MalformedRequest):
+            api.create_auto_scaling_group("asg", "lc-1", 5, 4, 4)
+
+    def test_create_requires_launch_configuration(self, api):
+        with pytest.raises(ResourceNotFound):
+            api.create_auto_scaling_group("asg", "lc-ghost", 1, 4, 2)
+
+    def test_duplicate_asg_rejected(self, api):
+        self._stack(api)
+        api.create_auto_scaling_group("asg", "lc-1", 1, 4, 2)
+        with pytest.raises(MalformedRequest):
+            api.create_auto_scaling_group("asg", "lc-1", 1, 4, 2)
+
+    def test_set_desired_capacity(self, api):
+        self._stack(api)
+        api.create_auto_scaling_group("asg", "lc-1", 1, 4, 2)
+        api.set_desired_capacity("asg", 3)
+        assert api.describe_auto_scaling_group("asg", consistent=True)["DesiredCapacity"] == 3
+
+    def test_update_rejects_bad_sizes(self, api):
+        self._stack(api)
+        api.create_auto_scaling_group("asg", "lc-1", 1, 4, 2)
+        with pytest.raises(MalformedRequest):
+            api.set_desired_capacity("asg", 99)
+
+    def test_suspend_and_resume_processes(self, api):
+        self._stack(api)
+        api.create_auto_scaling_group("asg", "lc-1", 1, 4, 2)
+        api.suspend_processes("asg", ["Launch"])
+        assert api.describe_auto_scaling_group("asg", consistent=True)["SuspendedProcesses"] == [
+            "Launch"
+        ]
+        api.resume_processes("asg", ["Launch"])
+        assert api.describe_auto_scaling_group("asg", consistent=True)["SuspendedProcesses"] == []
+
+
+class TestElb:
+    def test_register_and_health(self, cloud, api):
+        api.create_load_balancer("elb-1")
+        ami = api.register_image("app", "v1")["ImageId"]
+        api.create_key_pair("k")
+        api.create_launch_configuration("lc-1", ami, "m1.small", "k", [])
+        api.create_auto_scaling_group("asg", "lc-1", 1, 4, 1, ["elb-1"])
+        cloud.start()
+        cloud.engine.run(until=300)
+        health = api.describe_instance_health("elb-1")
+        assert len(health) == 1
+        assert health[0]["State"] == "InService"
+
+    def test_unavailable_elb_rejects_registration(self, cloud, api):
+        api.create_load_balancer("elb-1")
+        elb = cloud.state.get("load_balancer", "elb-1")
+        elb.available = False
+        with pytest.raises(ServiceUnavailable):
+            api.register_instances_with_load_balancer("elb-1", [])
+        with pytest.raises(ServiceUnavailable):
+            api.describe_instance_health("elb-1")
+
+    def test_deregister_from_unavailable_elb_fails(self, cloud, api):
+        api.create_load_balancer("elb-1")
+        cloud.state.get("load_balancer", "elb-1").available = False
+        with pytest.raises(ServiceUnavailable):
+            api.deregister_instances_from_load_balancer("elb-1", ["i-1"])
+
+    def test_delete_load_balancer(self, api):
+        api.create_load_balancer("elb-1")
+        api.delete_load_balancer("elb-1")
+        with pytest.raises(ResourceNotFound):
+            api.describe_load_balancer("elb-1", consistent=True)
+
+
+class TestAuditing:
+    def test_every_call_recorded_with_principal(self, cloud):
+        api = cloud.api("alice")
+        api.register_image("app", "v1")
+        assert api.calls[-1].name == "RegisterImage"
+        assert api.calls[-1].principal == "alice"
+
+    def test_errors_recorded_with_code(self, cloud):
+        api = cloud.api("alice")
+        with pytest.raises(ResourceNotFound):
+            api.describe_image("ami-ghost", consistent=True)
+        assert api.calls[-1].error_code == "InvalidAMIID.NotFound"
+
+    def test_calls_reach_cloudtrail(self, cloud):
+        api = cloud.api("alice")
+        api.register_image("app", "v1")
+        records = cloud.trail.all_records()
+        assert records[-1].event_name == "RegisterImage"
+        assert records[-1].principal == "alice"
+
+    def test_listener_invoked(self, cloud):
+        api = cloud.api("alice")
+        seen = []
+        api.subscribe(seen.append)
+        api.register_image("app", "v1")
+        assert len(seen) == 1
+
+    def test_throttling_when_rate_exceeded(self):
+        cloud = SimulatedCloud(
+            seed=1, limits=AccountLimits(max_calls_per_window=2, rate_window=1.0)
+        )
+        api = cloud.api("busy")
+        api.register_image("a", "v1")
+        api.register_image("b", "v1")
+        with pytest.raises(Throttling):
+            api.register_image("c", "v1")
+
+
+class TestScalingActivitiesApi:
+    def test_activities_filtered_by_asg_and_time(self, provisioned_cloud):
+        api = provisioned_cloud.api("tester")
+        all_activities = api.describe_scaling_activities("asg-dsn")
+        assert all_activities, "initial fleet launch should have produced activities"
+        late = api.describe_scaling_activities("asg-dsn", since=10_000.0)
+        assert late == []
+
+    def test_terminate_instance_in_asg_removes_member(self, provisioned_cloud):
+        api = provisioned_cloud.api("tester")
+        asg = provisioned_cloud.state.get("auto_scaling_group", "asg-dsn")
+        victim = asg.instance_ids[0]
+        api.terminate_instance_in_auto_scaling_group(victim)
+        assert victim not in asg.instance_ids

@@ -1,0 +1,97 @@
+"""Tests for the fault-injection hooks."""
+
+import random
+
+import pytest
+
+
+class TestConfigurationFaults:
+    def test_change_lc_ami(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        record = cloud.injector.change_lc_ami("lc-v1", "ami-rogue")
+        assert cloud.state.get("launch_configuration", "lc-v1").image_id == "ami-rogue"
+        assert record.fault_type == "AMI_CHANGED"
+        assert record.details["original"] == cloud.ami_v1
+
+    def test_change_lc_key_pair(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        cloud.injector.change_lc_key_pair("lc-v1", "key-rogue")
+        assert cloud.state.get("launch_configuration", "lc-v1").key_name == "key-rogue"
+
+    def test_change_lc_security_group(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        cloud.injector.change_lc_security_group("lc-v1", "sg-rogue")
+        assert cloud.state.get("launch_configuration", "lc-v1").security_groups == ["sg-rogue"]
+
+    def test_change_lc_instance_type(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        cloud.injector.change_lc_instance_type("lc-v1", "m1.xlarge")
+        assert cloud.state.get("launch_configuration", "lc-v1").instance_type == "m1.xlarge"
+
+
+class TestResourceFaults:
+    def test_ami_unavailable(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        cloud.injector.make_ami_unavailable(cloud.ami_v1)
+        assert not cloud.state.exists("ami", cloud.ami_v1)
+
+    def test_key_pair_unavailable(self, provisioned_cloud):
+        provisioned_cloud.injector.make_key_pair_unavailable("key-prod")
+        assert not provisioned_cloud.state.exists("key_pair", "key-prod")
+
+    def test_security_group_unavailable(self, provisioned_cloud):
+        provisioned_cloud.injector.make_security_group_unavailable("sg-web")
+        assert not provisioned_cloud.state.exists("security_group", "sg-web")
+
+    def test_elb_unavailable_keeps_resource(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        cloud.injector.make_elb_unavailable("elb-dsn")
+        elb = cloud.state.get("load_balancer", "elb-dsn")
+        assert not elb.available
+        assert elb.describe()["State"] == "unavailable"
+
+
+class TestReverts:
+    def test_revert_lc_ami(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        record = cloud.injector.change_lc_ami("lc-v1", "ami-rogue")
+        cloud.injector.revert(record)
+        assert cloud.state.get("launch_configuration", "lc-v1").image_id == cloud.ami_v1
+        assert record.reverted_at is not None
+
+    def test_revert_elb(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        record = cloud.injector.make_elb_unavailable("elb-dsn")
+        cloud.injector.revert(record)
+        assert cloud.state.get("load_balancer", "elb-dsn").available
+
+    def test_revert_unsupported_fault_rejected(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        record = cloud.injector.make_ami_unavailable(cloud.ami_v1)
+        with pytest.raises(ValueError):
+            cloud.injector.revert(record)
+
+
+class TestRandomTermination:
+    def test_kills_a_running_member(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        before = {i.instance_id for i in cloud.state.running_instances("asg-dsn")}
+        victim = cloud.injector.terminate_random_instance("asg-dsn", random.Random(1))
+        assert victim in before
+        assert cloud.state.get("instance", victim).state.value == "terminated"
+
+    def test_victim_deregistered_from_elb(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        victim = cloud.injector.terminate_random_instance("asg-dsn", random.Random(1))
+        elb = cloud.state.get("load_balancer", "elb-dsn")
+        assert victim not in elb.registered_instances
+
+    def test_no_candidates_returns_none(self, cloud):
+        assert cloud.injector.terminate_random_instance("asg-ghost", random.Random(1)) is None
+
+    def test_injections_are_logged(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        cloud.injector.change_lc_ami("lc-v1", "x")
+        cloud.injector.make_elb_unavailable("elb-dsn")
+        types = [r.fault_type for r in cloud.injector.injections]
+        assert types == ["AMI_CHANGED", "ELB_UNAVAILABLE"]

@@ -1,0 +1,171 @@
+"""Tests for region state, write history and limits."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.errors import ResourceNotFound
+from repro.cloud.limits import AccountLimits, RateLimiter
+from repro.cloud.resources import AmiImage, Instance, InstanceState
+from repro.cloud.state import CloudState
+
+
+def make_image(image_id="ami-1"):
+    return AmiImage(image_id=image_id, name="app", version="v1")
+
+
+class TestRegistry:
+    def test_put_and_get(self):
+        state = CloudState()
+        state.put("ami", "ami-1", make_image(), now=1.0)
+        assert state.get("ami", "ami-1").version == "v1"
+
+    def test_get_missing_raises_typed_code(self):
+        state = CloudState()
+        with pytest.raises(ResourceNotFound) as excinfo:
+            state.get("ami", "ami-nope")
+        assert excinfo.value.code == "InvalidAMIID.NotFound"
+
+    def test_exists(self):
+        state = CloudState()
+        assert not state.exists("key_pair", "k")
+        state.put("ami", "ami-1", make_image(), now=0.0)
+        assert state.exists("ami", "ami-1")
+
+    def test_delete_removes_and_tombstones(self):
+        state = CloudState()
+        state.put("ami", "ami-1", make_image(), now=1.0)
+        state.delete("ami", "ami-1", now=2.0)
+        assert not state.exists("ami", "ami-1")
+        assert state.history("ami", "ami-1")[-1][1] is None
+
+    def test_delete_missing_raises(self):
+        state = CloudState()
+        with pytest.raises(ResourceNotFound):
+            state.delete("ami", "ami-1", now=0.0)
+
+    def test_new_ids_unique_and_prefixed(self):
+        state = CloudState()
+        ids = {state.new_id("instance") for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith("i-") for i in ids)
+
+    def test_new_id_prefixes_per_kind(self):
+        state = CloudState()
+        assert state.new_id("ami").startswith("ami-")
+        assert state.new_id("security_group").startswith("sg-")
+        assert state.new_id("load_balancer").startswith("elb-")
+
+
+class TestHistory:
+    def test_view_at_before_creation_is_absent(self):
+        state = CloudState()
+        state.put("ami", "ami-1", make_image(), now=10.0)
+        assert state.view_at("ami", "ami-1", as_of=5.0) is None
+
+    def test_view_at_sees_latest_write_before_time(self):
+        state = CloudState()
+        image = make_image()
+        state.put("ami", "ami-1", image, now=10.0)
+        image.version = "v2"
+        state.record_write("ami", "ami-1", now=20.0)
+        assert state.view_at("ami", "ami-1", as_of=15.0)["Version"] == "v1"
+        assert state.view_at("ami", "ami-1", as_of=25.0)["Version"] == "v2"
+
+    def test_view_at_after_tombstone_is_absent(self):
+        state = CloudState()
+        state.put("ami", "ami-1", make_image(), now=1.0)
+        state.delete("ami", "ami-1", now=5.0)
+        assert state.view_at("ami", "ami-1", as_of=4.0) is not None
+        assert state.view_at("ami", "ami-1", as_of=6.0) is None
+
+    def test_view_is_a_copy(self):
+        state = CloudState()
+        state.put("ami", "ami-1", make_image(), now=1.0)
+        view = state.view_at("ami", "ami-1", as_of=2.0)
+        view["Version"] = "tampered"
+        assert state.view_at("ami", "ami-1", as_of=2.0)["Version"] == "v1"
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_view_at_consistent_with_history(self, times):
+        """The view at time t is always the last write at or before t."""
+        state = CloudState()
+        image = make_image()
+        writes = sorted(times)
+        for index, t in enumerate(writes):
+            image.version = f"v{index}"
+            state.put("ami", "ami-1", image, now=t)
+        for index, t in enumerate(writes):
+            view = state.view_at("ami", "ami-1", as_of=t)
+            # Several writes can share a timestamp; the last one wins.
+            last_index = max(i for i, w in enumerate(writes) if w <= t)
+            assert view["Version"] == f"v{last_index}"
+
+
+class TestAggregates:
+    def test_active_instance_count(self):
+        state = CloudState()
+        for index, status in enumerate(
+            [InstanceState.PENDING, InstanceState.RUNNING, InstanceState.TERMINATED]
+        ):
+            instance = Instance(
+                instance_id=f"i-{index}",
+                image_id="ami-1",
+                instance_type="m1.small",
+                key_name="k",
+                security_groups=[],
+                state=status,
+            )
+            state.put("instance", instance.instance_id, instance, now=0.0)
+        assert state.active_instance_count() == 2
+
+    def test_running_instances_filtered_by_asg(self):
+        state = CloudState()
+        for index, asg in enumerate(["a", "a", "b"]):
+            instance = Instance(
+                instance_id=f"i-{index}",
+                image_id="ami-1",
+                instance_type="m1.small",
+                key_name="k",
+                security_groups=[],
+                state=InstanceState.RUNNING,
+                asg_name=asg,
+            )
+            state.put("instance", instance.instance_id, instance, now=0.0)
+        assert len(state.running_instances()) == 3
+        assert len(state.running_instances("a")) == 2
+
+
+class TestRateLimiter:
+    def test_allows_until_limit(self):
+        limiter = RateLimiter(AccountLimits(max_calls_per_window=3, rate_window=1.0))
+        assert limiter.try_acquire(0.0)
+        assert limiter.try_acquire(0.1)
+        assert limiter.try_acquire(0.2)
+        assert not limiter.try_acquire(0.3)
+
+    def test_window_slides(self):
+        limiter = RateLimiter(AccountLimits(max_calls_per_window=1, rate_window=1.0))
+        assert limiter.try_acquire(0.0)
+        assert not limiter.try_acquire(0.5)
+        assert limiter.try_acquire(1.5)
+
+    def test_in_flight_counts_window_only(self):
+        limiter = RateLimiter(AccountLimits(max_calls_per_window=10, rate_window=1.0))
+        limiter.try_acquire(0.0)
+        limiter.try_acquire(0.9)
+        assert limiter.in_flight(1.5) == 1
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_never_exceeds_limit_in_any_window(self, raw_times):
+        limits = AccountLimits(max_calls_per_window=5, rate_window=1.0)
+        limiter = RateLimiter(limits)
+        granted = []
+        for t in sorted(raw_times):
+            if limiter.try_acquire(t):
+                granted.append(t)
+        for t in granted:
+            inside = [g for g in granted if t - 1.0 < g <= t]
+            assert len(inside) <= 5

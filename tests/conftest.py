@@ -1,0 +1,41 @@
+"""Shared fixtures for the POD-Diagnosis reproduction test suite."""
+
+import pytest
+
+from repro.cloud.provider import SimulatedCloud
+from repro.sim.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    """A fresh discrete-event engine."""
+    return Engine()
+
+
+@pytest.fixture
+def cloud():
+    """A fresh simulated cloud (control loops not yet started)."""
+    return SimulatedCloud(seed=42)
+
+
+@pytest.fixture
+def provisioned_cloud():
+    """A cloud with the standard application stack provisioned and booted.
+
+    Resources: two AMIs (v1/v2), key pair, security group, ELB, launch
+    configuration v1, and ASG `asg-dsn` with 4 running instances.
+    """
+    cloud = SimulatedCloud(seed=42)
+    api = cloud.api("setup")
+    ami_v1 = api.register_image("app", "v1")["ImageId"]
+    ami_v2 = api.register_image("app", "v2")["ImageId"]
+    api.create_key_pair("key-prod")
+    api.create_security_group("sg-web")
+    api.create_load_balancer("elb-dsn")
+    api.create_launch_configuration("lc-v1", ami_v1, "m1.small", "key-prod", ["sg-web"])
+    api.create_auto_scaling_group("asg-dsn", "lc-v1", 1, 8, 4, ["elb-dsn"])
+    cloud.start()
+    cloud.engine.run(until=300.0)
+    cloud.ami_v1 = ami_v1
+    cloud.ami_v2 = ami_v2
+    return cloud

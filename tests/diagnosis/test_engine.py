@@ -1,0 +1,231 @@
+"""Tests for the fault-tree walking diagnosis engine."""
+
+import pytest
+
+from repro.assertions.base import Assertion, AssertionEnvironment
+from repro.assertions.consistent_api import ConsistentApiClient
+from repro.assertions.evaluation import AssertionEvaluationService
+from repro.diagnosis.engine import DiagnosisEngine
+from repro.diagnosis.tests import CustomTestRegistry
+from repro.faulttree.builder import FaultTreeRegistry
+from repro.faulttree.tree import DiagnosticTest, FaultTree, node
+from repro.logsys.storage import CentralLogStorage
+from repro.process.context import ProcessContext
+from repro.sim.latency import ConstantLatency
+
+
+class ScriptedAssertion(Assertion):
+    """Assertion whose pass/fail is looked up from a script dict."""
+
+    fault_tree_id = "scripted"
+
+    def __init__(self, assertion_id, script):
+        self.assertion_id = assertion_id
+        self.script = script
+
+    def evaluate(self, env, params):
+        started = env.engine.now
+        yield env.engine.timeout(0.05)
+        key = params.get("which", "default")
+        passed = self.script.get(key, True)
+        return self._result(env, passed, f"scripted {key}", params, started)
+
+
+def build_engine_fixture(engine, script, probe_results=None, tree=None):
+    env = AssertionEnvironment(
+        engine=engine,
+        client=ConsistentApiClient(engine, object(), latency=ConstantLatency(0.01)),
+        config={"asg_name": "asg-x", "desired_capacity": 4},
+    )
+    storage = CentralLogStorage()
+    assertions = AssertionEvaluationService(env, storage=storage)
+    assertions.register(ScriptedAssertion("check", script))
+    probes = CustomTestRegistry()
+    probe_results = probe_results or {}
+
+    def make_probe(name):
+        def probe(env_, params):
+            yield env_.engine.timeout(0.02)
+            return probe_results.get(name, ("excluded", {}))
+
+        return probe
+
+    for name in ("p1", "p2"):
+        probes.register(name, make_probe(name))
+    trees = FaultTreeRegistry()
+    trees.register(tree or default_tree())
+    diag = DiagnosisEngine(engine, trees, assertions, probes, storage=storage)
+    return diag, storage
+
+
+def default_tree():
+    return FaultTree(
+        tree_id="scripted",
+        description="scripted tree",
+        root=node(
+            "root",
+            "root event",
+            node(
+                "gated",
+                "gated branch",
+                node(
+                    "leaf-x",
+                    "cause X",
+                    test=DiagnosticTest("assertion", "check", params={"which": "x"}),
+                    probability=0.9,
+                ),
+                node(
+                    "leaf-y",
+                    "cause Y",
+                    test=DiagnosticTest("assertion", "check", params={"which": "y"}),
+                    probability=0.1,
+                ),
+                test=DiagnosticTest("assertion", "check", params={"which": "gate"}),
+            ),
+            node("probed", "probe branch", test=DiagnosticTest("custom", "p1")),
+        ),
+    )
+
+
+def fake_assertion_result(engine, params=None):
+    from repro.assertions.results import AssertionResult
+
+    return AssertionResult(
+        assertion_id="check",
+        passed=False,
+        message="failed",
+        time=engine.now,
+        params=params or {},
+        context=ProcessContext(process_id="p", trace_id="t1", step="ready"),
+    )
+
+
+class TestWalk:
+    def test_confirmed_leaf_is_root_cause(self, engine):
+        diag, _ = build_engine_fixture(engine, {"gate": False, "x": False, "y": True})
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        report = diag.completed[0]
+        assert [c.node_id for c in report.root_causes] == ["leaf-x"]
+        assert report.root_causes[0].status == "confirmed"
+
+    def test_excluded_gate_prunes_children(self, engine):
+        diag, _ = build_engine_fixture(engine, {"gate": True, "x": False})
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        report = diag.completed[0]
+        tested = {t.node_id for t in report.tests}
+        assert "leaf-x" not in tested
+        assert report.no_root_cause
+
+    def test_confirmed_gate_with_no_confirmed_children_is_undetermined(self, engine):
+        diag, _ = build_engine_fixture(engine, {"gate": False, "x": True, "y": True})
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        report = diag.completed[0]
+        assert [c.node_id for c in report.root_causes] == ["gated"]
+        assert report.root_causes[0].status == "undetermined"
+
+    def test_probe_confirmation(self, engine):
+        diag, _ = build_engine_fixture(
+            engine,
+            {"gate": True},
+            probe_results={"p1": ("confirmed", {"detail": 1})},
+        )
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        assert [c.node_id for c in diag.completed[0].root_causes] == ["probed"]
+
+    def test_all_excluded_reports_no_root_cause(self, engine):
+        diag, storage = build_engine_fixture(engine, {"gate": True})
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        report = diag.completed[0]
+        assert report.no_root_cause
+        messages = [r.message for r in storage.query(type="diagnosis")]
+        assert any("No root cause identified" in m for m in messages)
+
+    def test_children_visited_by_probability(self, engine):
+        diag, _ = build_engine_fixture(engine, {"gate": False, "x": False, "y": False})
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        order = [t.node_id for t in diag.completed[0].tests if t.node_id.startswith("leaf")]
+        assert order == ["leaf-x", "leaf-y"]
+
+    def test_unresolved_variables_inconclusive_without_running(self, engine):
+        tree = FaultTree(
+            tree_id="scripted",
+            description="",
+            root=node(
+                "root",
+                "",
+                node(
+                    "needs-context",
+                    "",
+                    test=DiagnosticTest("assertion", "check", params={"which": "$instanceid"}),
+                ),
+            ),
+        )
+        diag, _ = build_engine_fixture(engine, {}, tree=tree)
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        execution = diag.completed[0].tests[0]
+        assert execution.verdict == "inconclusive"
+        assert execution.evidence["unresolved"] == ["which"]
+
+    def test_results_cached_across_nodes(self, engine):
+        """Two nodes sharing a test run it once (§III.B.4 reuse)."""
+        tree = FaultTree(
+            tree_id="scripted",
+            description="",
+            root=node(
+                "root",
+                "",
+                node("a", "", test=DiagnosticTest("assertion", "check", params={"which": "x"})),
+                node("b", "", test=DiagnosticTest("assertion", "check", params={"which": "x"})),
+            ),
+        )
+        diag, _ = build_engine_fixture(engine, {"x": False}, tree=tree)
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        report = diag.completed[0]
+        assert [t.cached for t in report.tests] == [False, True]
+        assert {c.node_id for c in report.root_causes} == {"a", "b"}
+
+    def test_diagnosis_pays_virtual_time(self, engine):
+        diag, _ = build_engine_fixture(engine, {"gate": False, "x": False})
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        report = diag.completed[0]
+        assert report.duration > 0.3  # startup + tests
+
+    def test_report_counts_potential_faults(self, engine):
+        diag, _ = build_engine_fixture(engine, {"gate": True})
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        assert diag.completed[0].potential_fault_count == 3  # leaf-x, leaf-y, probed
+
+    def test_callbacks_invoked_on_completion(self, engine):
+        diag, _ = build_engine_fixture(engine, {"gate": True})
+        seen = []
+        diag.on_report(seen.append)
+        diag.diagnose_assertion_failure(fake_assertion_result(engine))
+        engine.run()
+        assert len(seen) == 1
+
+    def test_assertion_without_tree_not_diagnosed(self, engine):
+        diag, _ = build_engine_fixture(engine, {})
+        result = fake_assertion_result(engine)
+        result.assertion_id = "unknown-assertion"
+        assert diag.diagnose_assertion_failure(result) is None
+
+    def test_params_merge_config_context_and_trigger(self, engine):
+        diag, _ = build_engine_fixture(engine, {})
+        context = ProcessContext(
+            process_id="p", trace_id="t", step="ready", fields={"instanceid": "i-7"}
+        )
+        merged = diag._merge_params({"num": "4"}, context)
+        assert merged["asg_name"] == "asg-x"
+        assert merged["N"] == 4
+        assert merged["instanceid"] == "i-7"
+        assert merged["num"] == "4"

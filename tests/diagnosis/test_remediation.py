@@ -1,0 +1,123 @@
+"""Tests for remediation planning and application."""
+
+import pytest
+
+from repro.diagnosis.remediation import RemediationPlan, apply, plan_for, plans_for_report
+from repro.diagnosis.report import DiagnosisReport, RootCause
+
+
+PARAMS = {
+    "asg_name": "asg-dsn",
+    "lc_name": "lc-app-v2",
+    "elb_name": "elb-dsn",
+    "N": 4,
+    "expected_image_id": "ami-2",
+    "expected_key_name": "key-prod",
+    "expected_instance_type": "m1.small",
+    "expected_security_groups": ["sg-web"],
+    "expected_security_group": "sg-web",
+}
+
+
+class TestPlanning:
+    def test_wrong_ami_plan_restores_lc(self):
+        plan = plan_for("lc-wrong-ami", PARAMS)
+        assert plan.action == "restore-launch-configuration"
+        assert plan.automatable
+        assert "ami-2" in plan.description
+        method, args, kwargs = plan.api_calls[0]
+        assert method == "update_launch_configuration"
+        assert args == ("lc-app-v2",)
+        assert kwargs == {"image_id": "ami-2"}
+
+    def test_wrong_security_group_plan(self):
+        plan = plan_for("wrong-security-group", PARAMS)
+        assert plan.api_calls[0][2] == {"security_groups": ["sg-web"]}
+
+    def test_missing_key_plan_recreates(self):
+        plan = plan_for("key-pair-unavailable", PARAMS)
+        assert plan.action == "recreate-key-pair"
+        assert plan.api_calls == [("create_key_pair", ("key-prod",), {})]
+
+    def test_elb_plan_is_manual(self):
+        plan = plan_for("elb-unavailable", PARAMS)
+        assert not plan.automatable
+        assert plan.api_calls == []
+
+    def test_unknown_cause_returns_none(self):
+        assert plan_for("mystery-cause", PARAMS) is None
+
+    def test_missing_params_fall_back_to_placeholders(self):
+        plan = plan_for("wrong-ami", {})
+        assert "<target-ami>" in plan.description or "Reset" in plan.description
+
+    def test_plans_for_report_deduplicates_actions(self):
+        report = DiagnosisReport(
+            request_id="d",
+            trigger="assertion",
+            trigger_detail="x",
+            trace_id="t",
+            step=None,
+            started_at=0.0,
+            root_causes=[
+                RootCause("wrong-ami", "", "confirmed"),
+                RootCause("lc-wrong-ami", "", "confirmed"),
+                RootCause("asg-scale-in", "", "confirmed"),
+            ],
+        )
+        plans = plans_for_report(report, PARAMS)
+        assert [p.action for p in plans] == [
+            "restore-launch-configuration",
+            "reconcile-capacity",
+        ]
+
+
+class TestApplication:
+    def test_apply_reverts_corrupted_lc(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        api = cloud.api("remediation")
+        cloud.injector.change_lc_ami("lc-v1", "ami-rogue")
+        params = {**PARAMS, "lc_name": "lc-v1", "expected_image_id": cloud.ami_v1}
+        plan = plan_for("lc-wrong-ami", params)
+        done = apply(plan, api)
+        assert done == [f"update_launch_configuration('lc-v1',)"]
+        assert cloud.state.get("launch_configuration", "lc-v1").image_id == cloud.ami_v1
+
+    def test_apply_recreates_key_pair(self, provisioned_cloud):
+        cloud = provisioned_cloud
+        cloud.injector.make_key_pair_unavailable("key-prod")
+        plan = plan_for("key-pair-unavailable", PARAMS)
+        apply(plan, cloud.api("remediation"))
+        assert cloud.state.exists("key_pair", "key-prod")
+
+    def test_apply_refuses_manual_plans(self, provisioned_cloud):
+        plan = plan_for("elb-unavailable", PARAMS)
+        with pytest.raises(PermissionError):
+            apply(plan, provisioned_cloud.api("remediation"))
+
+    def test_end_to_end_diagnose_then_remediate(self):
+        """The full loop: fault -> detection -> diagnosis -> targeted fix
+        -> the upgrade recovers (no rollback needed)."""
+        from repro.testbed import build_testbed
+
+        testbed = build_testbed(cluster_size=4, seed=131)
+
+        def inject_and_heal():
+            yield testbed.engine.timeout(40)
+            rogue = testbed.cloud.api("rogue").register_image("r", "v9")["ImageId"]
+            testbed.cloud.injector.change_lc_ami("lc-app-v2", rogue)
+            # Wait for the first completed diagnosis, then remediate.
+            while not testbed.pod.reports:
+                yield testbed.engine.timeout(5)
+            report = testbed.pod.reports[0]
+            params = testbed.pod_config.as_repository()
+            params["expected_security_group"] = params["expected_security_groups"][0]
+            for plan in plans_for_report(report, params):
+                if plan.automatable:
+                    apply(plan, testbed.cloud.api("remediation"))
+
+        testbed.engine.process(inject_and_heal())
+        operation = testbed.run_upgrade()
+        assert operation.status == "completed"
+        lc = testbed.cloud.state.get("launch_configuration", "lc-app-v2")
+        assert lc.image_id == testbed.stack.ami_v2

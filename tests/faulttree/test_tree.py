@@ -1,0 +1,224 @@
+"""Tests for fault-tree structure, instantiation, pruning and registry."""
+
+import pytest
+
+from repro.faulttree.builder import FaultTreeRegistry
+from repro.faulttree.instantiate import (
+    instantiate_tree,
+    prune_by_context,
+    substitute,
+    substitute_params,
+)
+from repro.faulttree.library import EXPECTED_ROOT_CAUSE, build_standard_fault_trees
+from repro.faulttree.tree import DiagnosticTest, FaultTree, node
+
+
+def small_tree():
+    return FaultTree(
+        tree_id="demo",
+        description="demo tree for $asg_name",
+        variables=("asg_name",),
+        root=node(
+            "root",
+            "something wrong with $asg_name",
+            node(
+                "branch-a",
+                "branch A of $asg_name",
+                node("leaf-a1", "leaf a1", test=DiagnosticTest("assertion", "t1"), probability=0.9),
+                node("leaf-a2", "leaf a2", test=DiagnosticTest("assertion", "t2"), probability=0.1),
+                steps=("step-one",),
+                probability=0.7,
+            ),
+            node(
+                "branch-b",
+                "branch B",
+                test=DiagnosticTest("custom", "probe", params={"asg": "$asg_name"}),
+                steps=("step-two",),
+                probability=0.3,
+            ),
+        ),
+    )
+
+
+class TestNodeStructure:
+    def test_invalid_gate_rejected(self):
+        with pytest.raises(ValueError):
+            node("x", "d", gate="XOR")
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            node("x", "d", probability=1.5)
+
+    def test_iter_nodes_preorder(self):
+        tree = small_tree()
+        ids = [n.node_id for n in tree.root.iter_nodes()]
+        assert ids == ["root", "branch-a", "leaf-a1", "leaf-a2", "branch-b"]
+
+    def test_find(self):
+        tree = small_tree()
+        assert tree.find("leaf-a2").description == "leaf a2"
+        assert tree.find("ghost") is None
+
+    def test_leaves(self):
+        assert {n.node_id for n in small_tree().leaves()} == {"leaf-a1", "leaf-a2", "branch-b"}
+
+    def test_ordered_children_by_probability(self):
+        tree = small_tree()
+        order = [c.node_id for c in tree.find("branch-a").ordered_children()]
+        assert order == ["leaf-a1", "leaf-a2"]
+
+    def test_copy_is_deep(self):
+        tree = small_tree()
+        clone = tree.root.copy()
+        clone.find("leaf-a1").description = "mutated"
+        clone.find("branch-b").test.params["asg"] = "mutated"
+        assert tree.find("leaf-a1").description == "leaf a1"
+        assert tree.root.find("branch-b").test.params["asg"] == "$asg_name"
+
+    def test_cache_key_ignores_param_order(self):
+        a = DiagnosticTest("assertion", "t", params={"x": 1, "y": 2})
+        b = DiagnosticTest("assertion", "t", params={"y": 2, "x": 1})
+        assert a.cache_key() == b.cache_key()
+
+
+class TestSubstitution:
+    def test_substitute_known_variables(self):
+        assert substitute("check $asg_name now", {"asg_name": "asg-1"}) == "check asg-1 now"
+
+    def test_unknown_variables_left_intact(self):
+        assert substitute("check $mystery", {}) == "check $mystery"
+
+    def test_substitute_params_only_strings(self):
+        out = substitute_params({"a": "$x", "b": 3, "c": "lit"}, {"x": "X"})
+        assert out == {"a": "X", "b": 3, "c": "lit"}
+
+    def test_instantiate_tree_substitutes_everywhere(self):
+        instantiated = instantiate_tree(small_tree(), {"asg_name": "asg-9"})
+        assert "asg-9" in instantiated.description
+        assert instantiated.find("branch-b").test.params["asg"] == "asg-9"
+
+
+class TestPruning:
+    def test_prune_keeps_matching_step(self):
+        root = instantiate_tree(small_tree(), {"asg_name": "a"}, step="step-one")
+        ids = {n.node_id for n in root.iter_nodes()}
+        assert "branch-a" in ids
+        assert "branch-b" not in ids
+
+    def test_no_step_keeps_everything(self):
+        root = instantiate_tree(small_tree(), {"asg_name": "a"}, step=None)
+        assert len(list(root.iter_nodes())) == 5
+
+    def test_unscoped_nodes_always_kept(self):
+        tree = small_tree()
+        tree.root.children[0].step_context = frozenset()
+        root = instantiate_tree(tree, {}, step="step-two")
+        ids = {n.node_id for n in root.iter_nodes()}
+        assert "branch-a" in ids and "branch-b" in ids
+
+    def test_prune_by_context_root_scoped_out(self):
+        scoped = node("x", "d", steps=("other",))
+        assert prune_by_context(scoped, "this") is None
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = FaultTreeRegistry()
+        registry.register(small_tree())
+        assert "demo" in registry
+        assert registry.get("demo").tree_id == "demo"
+
+    def test_duplicate_rejected(self):
+        registry = FaultTreeRegistry()
+        registry.register(small_tree())
+        with pytest.raises(ValueError):
+            registry.register(small_tree())
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            FaultTreeRegistry().get("ghost")
+
+    def test_duplicate_node_ids_rejected(self):
+        registry = FaultTreeRegistry()
+        bad = FaultTree(
+            tree_id="bad",
+            description="",
+            root=node("r", "", node("dup", ""), node("dup", "")),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(bad)
+
+    def test_extend_grafts_subtree(self):
+        """The paper's account-limit amendment: grow the tree with a new
+        root cause after a wrong diagnosis."""
+        registry = FaultTreeRegistry()
+        registry.register(small_tree())
+        registry.extend("demo", "branch-a", node("new-cause", "freshly learned"))
+        assert registry.get("demo").find("new-cause") is not None
+
+    def test_extend_missing_parent_raises(self):
+        registry = FaultTreeRegistry()
+        registry.register(small_tree())
+        with pytest.raises(KeyError):
+            registry.extend("demo", "ghost", node("x", ""))
+
+    def test_extend_duplicate_id_rejected(self):
+        registry = FaultTreeRegistry()
+        registry.register(small_tree())
+        with pytest.raises(ValueError):
+            registry.extend("demo", "branch-a", node("leaf-a1", ""))
+
+    def test_stats(self):
+        registry = FaultTreeRegistry()
+        registry.register(small_tree())
+        assert registry.stats()["demo"]["nodes"] == 5
+        assert registry.stats()["demo"]["leaves"] == 3
+
+
+class TestStandardTrees:
+    def test_all_trees_registered(self):
+        registry = build_standard_fault_trees()
+        assert set(registry.tree_ids()) == {
+            "asg-instance-count",
+            "asg-wrong-version",
+            "elb-registration",
+            "process-deviation",
+            "resource-integrity",
+        }
+
+    def test_fig5_tree_has_the_four_config_faults(self):
+        tree = build_standard_fault_trees().get("asg-instance-count")
+        wrong_config = tree.find("asg-wrong-config")
+        assert {c.node_id for c in wrong_config.children} == {
+            "wrong-security-group",
+            "wrong-key-pair",
+            "wrong-ami",
+            "wrong-instance-type",
+        }
+
+    def test_every_leaf_is_testable_or_documented(self):
+        """Leaves without a test can never be confirmed; the standard
+        trees must not contain silent dead ends."""
+        registry = build_standard_fault_trees()
+        for tree_id in registry.tree_ids():
+            for leaf in registry.get(tree_id).leaves():
+                assert leaf.test is not None, f"{tree_id}:{leaf.node_id} has no test"
+
+    def test_expected_root_causes_exist_in_some_tree(self):
+        registry = build_standard_fault_trees()
+        all_nodes = set()
+        for tree_id in registry.tree_ids():
+            all_nodes |= {n.node_id for n in registry.get(tree_id).root.iter_nodes()}
+        for fault, causes in EXPECTED_ROOT_CAUSE.items():
+            covered = causes & all_nodes
+            assert covered, f"{fault} has no reachable root cause node"
+
+    def test_pruning_fig5_by_ready_step(self):
+        """'If the assertion after New instance ready… triggered
+        diagnosis, we prune all other sub-trees.'"""
+        registry = build_standard_fault_trees()
+        tree = registry.get("asg-instance-count")
+        root = instantiate_tree(tree, {"asg_name": "a", "N": 4}, step="new_instance_ready")
+        ids = {n.node_id for n in root.iter_nodes()}
+        assert "create-lc-fails" not in ids  # scoped to update_launch_configuration
+        assert "asg-wrong-config" in ids

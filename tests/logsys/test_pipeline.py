@@ -1,0 +1,237 @@
+"""Tests for the local log processor pipeline (Fig. 3) and its stages."""
+
+from repro.logsys.annotator import AssertionAnnotator, ProcessAnnotator
+from repro.logsys.central import CentralLogProcessor
+from repro.logsys.filters import NoiseFilter
+from repro.logsys.patterns import END, LogPattern, PatternLibrary
+from repro.logsys.pipeline import LocalLogProcessor
+from repro.logsys.record import LogRecord, LogStream
+from repro.logsys.storage import CentralLogStorage
+from repro.logsys.trigger import Trigger
+from repro.sim.clock import SimClock
+
+
+def library():
+    return PatternLibrary(
+        [
+            LogPattern("begin", r"operation started", position="start"),
+            LogPattern("work", r"did work on (?P<instanceid>i-\w+)", position=END),
+            LogPattern("oops", r"known error", position=END, is_error=True),
+        ]
+    )
+
+
+def record(message, time=0.0):
+    return LogRecord(time=time, source="op.log", message=message)
+
+
+class TestNoiseFilter:
+    def test_matched_lines_pass(self):
+        noise = NoiseFilter(library())
+        assert noise.accepts(record("operation started"))
+        assert noise.passed_count == 1
+
+    def test_unmatched_lines_dropped_by_default(self):
+        noise = NoiseFilter(library())
+        assert not noise.accepts(record("random chatter"))
+        assert noise.dropped_count == 1
+
+    def test_drop_regexes_always_win(self):
+        noise = NoiseFilter(library(), passthrough_unmatched=True)
+        assert not noise.accepts(record("DEBUG operation started"))
+
+    def test_passthrough_unmatched(self):
+        noise = NoiseFilter(library(), passthrough_unmatched=True)
+        assert noise.accepts(record("weird unknown line"))
+
+    def test_passthrough_regexes(self):
+        noise = NoiseFilter(library(), passthrough_regexes=[r"ERROR"])
+        assert noise.accepts(record("ERROR something odd"))
+        assert not noise.accepts(record("chit chat"))
+
+    def test_seen_count(self):
+        noise = NoiseFilter(library())
+        noise.accepts(record("operation started"))
+        noise.accepts(record("zzz"))
+        assert noise.seen_count == 2
+
+
+class TestProcessAnnotator:
+    def test_annotates_context_tags(self):
+        annotator = ProcessAnnotator(library(), "proc-1", "trace-9")
+        rec = record("did work on i-abc")
+        annotator.annotate(rec)
+        assert rec.tag_value("process") == "proc-1"
+        assert rec.tag_value("trace") == "trace-9"
+        assert rec.tag_value("step") == "work"
+        assert rec.tag_value("position") == "end"
+        assert rec.fields["instanceid"] == "i-abc"
+
+    def test_unmatched_tagged_unclassified(self):
+        annotator = ProcessAnnotator(library(), "proc-1", "trace-9")
+        rec = record("mystery")
+        annotator.annotate(rec)
+        assert rec.tag_value("step") == "unclassified"
+
+    def test_error_lines_tagged_known_error(self):
+        annotator = ProcessAnnotator(library(), "p", "t")
+        rec = record("known error occurred")
+        annotator.annotate(rec)
+        assert rec.has_tag("known-error")
+
+    def test_callable_trace_id(self):
+        annotator = ProcessAnnotator(library(), "p", lambda r: f"trace-{r.time:.0f}")
+        rec = record("operation started", time=7)
+        annotator.annotate(rec)
+        assert rec.tag_value("trace") == "trace-7"
+
+
+class TestAssertionAnnotator:
+    def test_bound_assertions_tagged(self):
+        annotator = AssertionAnnotator()
+        annotator.bind("work", "end", ["check-1", "check-2"])
+        rec = record("x")
+        rec.add_tag("step:work")
+        rec.add_tag("position:end")
+        ids = annotator.annotate(rec)
+        assert ids == ["check-1", "check-2"]
+        assert rec.has_tag("assert:check-1")
+
+    def test_bind_deduplicates(self):
+        annotator = AssertionAnnotator()
+        annotator.bind("work", "end", ["c"])
+        annotator.bind("work", "end", ["c"])
+        assert annotator.bindings[("work", "end")] == ["c"]
+
+    def test_no_context_returns_empty(self):
+        annotator = AssertionAnnotator()
+        assert annotator.annotate(record("x")) == []
+
+
+class TestLocalLogProcessor:
+    def _processor(self, storage=None, conformance=None, assertions=None):
+        storage = storage if storage is not None else CentralLogStorage()
+        aa = AssertionAnnotator()
+        aa.bind("work", "end", ["check-1"])
+        return (
+            LocalLogProcessor(
+                noise_filter=NoiseFilter(library()),
+                process_annotator=ProcessAnnotator(library(), "p", "t"),
+                assertion_annotator=aa,
+                trigger=Trigger(conformance=conformance, assertions=assertions),
+                storage=storage,
+            ),
+            storage,
+        )
+
+    def test_noise_never_reaches_storage(self):
+        processor, storage = self._processor()
+        assert not processor.process(record("irrelevant"))
+        assert len(storage) == 0
+
+    def test_important_lines_shipped(self):
+        processor, storage = self._processor()
+        assert processor.process(record("did work on i-1"))
+        assert len(storage) == 1
+        assert storage.records[0].tag_value("step") == "work"
+
+    def test_known_error_lines_always_shipped(self):
+        processor, storage = self._processor()
+        assert processor.process(record("known error here"))
+        assert storage.records[0].has_tag("known-error")
+
+    def test_triggers_invoked_with_assertion_ids(self):
+        calls = []
+        processor, _ = self._processor(
+            conformance=lambda r: calls.append(("conf", r.tag_value("step"))),
+            assertions=lambda r, ids: calls.append(("assert", ids)),
+        )
+        processor.process(record("did work on i-2"))
+        assert ("conf", "work") in calls
+        assert ("assert", ["check-1"]) in calls
+
+    def test_attach_tails_stream(self):
+        processor, storage = self._processor()
+        stream = LogStream("op.log")
+        processor.attach(stream)
+        stream.emit_line(SimClock(), "did work on i-3")
+        assert len(storage) == 1
+
+    def test_counters(self):
+        processor, _ = self._processor()
+        processor.process(record("did work on i-1"))
+        processor.process(record("noise"))
+        assert processor.processed_count == 1
+        assert processor.shipped_count == 1
+
+
+class TestCentralLogStorage:
+    def test_query_conjunctive(self):
+        storage = CentralLogStorage()
+        a = LogRecord(time=1, source="x", message="alpha", type="operation", tags=["trace:t1"])
+        b = LogRecord(time=2, source="y", message="beta", type="assertion", tags=["trace:t1"])
+        storage.append(a)
+        storage.append(b)
+        assert storage.query(type="assertion") == [b]
+        assert storage.query(tag="trace:t1", since=1.5) == [b]
+        assert storage.query(contains="alp") == [a]
+        assert storage.query(source="x", until=1.5) == [a]
+
+    def test_by_trace_and_traces(self):
+        storage = CentralLogStorage()
+        for trace in ("t1", "t2", "t1"):
+            rec = LogRecord(time=0, source="s", message="m", tags=[f"trace:{trace}"])
+            storage.append(rec)
+        assert len(storage.by_trace("t1")) == 2
+        assert set(storage.traces()) == {"t1", "t2"}
+
+    def test_subscribers_see_appends(self):
+        storage = CentralLogStorage()
+        seen = []
+        storage.subscribe(seen.append)
+        storage.append(LogRecord(time=0, source="s", message="m"))
+        assert len(seen) == 1
+
+
+class TestCentralLogProcessor:
+    def test_failure_line_triggers_diagnosis(self):
+        storage = CentralLogStorage()
+        triggered = []
+        CentralLogProcessor(storage, triggered.append)
+        storage.append(LogRecord(time=0, source="third-party", message="Fatal exception in worker"))
+        assert len(triggered) == 1
+
+    def test_result_logs_not_rediagnosed(self):
+        storage = CentralLogStorage()
+        triggered = []
+        CentralLogProcessor(storage, triggered.append)
+        storage.append(
+            LogRecord(time=0, source="d", message="exception...", type="diagnosis")
+        )
+        assert triggered == []
+
+    def test_conformance_routed_lines_skipped(self):
+        storage = CentralLogStorage()
+        triggered = []
+        CentralLogProcessor(storage, triggered.append)
+        rec = LogRecord(time=0, source="op", message="Exception during upgrade")
+        rec.add_tag("conformance:error")
+        storage.append(rec)
+        assert triggered == []
+
+    def test_non_failure_lines_ignored(self):
+        storage = CentralLogStorage()
+        triggered = []
+        CentralLogProcessor(storage, triggered.append)
+        storage.append(LogRecord(time=0, source="op", message="all is well"))
+        assert triggered == []
+
+    def test_scan_backlog(self):
+        storage = CentralLogStorage()
+        storage.append(LogRecord(time=0, source="op", message="hard failure detected"))
+        triggered = []
+        processor = CentralLogProcessor(storage, triggered.append)
+        # Subscription starts after the append; backlog scan catches up.
+        assert processor.scan_backlog() == 1
+        # Idempotent: rescanning does not duplicate.
+        assert processor.scan_backlog() == 0

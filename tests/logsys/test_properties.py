@@ -1,0 +1,135 @@
+"""Property-based coverage for timers, storage queries and mining glue."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logsys.record import LogRecord
+from repro.logsys.storage import CentralLogStorage
+from repro.logsys.timers import PeriodicTimer
+from repro.sim.engine import Engine
+
+
+class TestTimerProperties:
+    @given(
+        st.floats(min_value=1.0, max_value=50.0),
+        st.lists(st.floats(min_value=0.5, max_value=40.0), max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_kicked_watchdog_never_fires_before_quietest_gap(self, interval, kick_gaps):
+        """A watchdog that is kicked within its interval never times out;
+        the first timeout always comes `interval` after the last kick."""
+        engine = Engine()
+        firings = []
+        timer = PeriodicTimer(engine, interval, firings.append, watchdog=True)
+        timer.start()
+        last_kick = 0.0
+
+        def kicker():
+            nonlocal last_kick
+            for gap in kick_gaps:
+                bounded = min(gap, interval * 0.9)  # always inside the window
+                yield engine.timeout(bounded)
+                timer.kick()
+                last_kick = engine.now
+
+        engine.process(kicker())
+        engine.run(until=last_kick + interval + sum(kick_gaps) + 2 * interval)
+        timer.stop()
+        timeouts = [f for f in firings if f.cause == "timeout"]
+        assert timeouts, "the watchdog must eventually expire after kicks stop"
+        assert timeouts[0].time == pytest.approx(last_kick + interval)
+        # No timeout between consecutive kicks.
+        aligned_times = [f.time for f in firings if f.cause == "aligned"]
+        for t in (f.time for f in timeouts):
+            assert t >= max(aligned_times, default=0.0)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=30, deadline=None)
+    def test_periodic_firing_count_matches_horizon(self, periods):
+        engine = Engine()
+        firings = []
+        timer = PeriodicTimer(engine, 10.0, firings.append)
+        timer.start()
+        engine.run(until=periods * 10.0 + 0.5)
+        timer.stop()
+        assert len(firings) == periods
+
+
+class TestStorageProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1000),
+                st.sampled_from(["operation", "assertion", "diagnosis"]),
+                st.sampled_from(["t1", "t2", "t3"]),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_trace_partition_is_complete_and_disjoint(self, rows):
+        """Grouping by trace loses nothing and invents nothing."""
+        storage = CentralLogStorage()
+        for time, type_, trace in rows:
+            record = LogRecord(time=time, source="s", message="m", type=type_)
+            record.add_tag(f"trace:{trace}")
+            storage.append(record)
+        grouped = storage.traces()
+        assert sum(len(v) for v in grouped.values()) == len(rows)
+        for trace, records in grouped.items():
+            assert all(r.tag_value("trace") == trace for r in records)
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_time_window_queries_partition(self, times):
+        storage = CentralLogStorage()
+        for t in times:
+            storage.append(LogRecord(time=t, source="s", message="m"))
+        pivot = 50.0
+        before = storage.query(until=pivot)
+        after = storage.query(since=pivot)
+        # Records exactly at the pivot appear in both (inclusive bounds);
+        # everything else appears exactly once.
+        at_pivot = sum(1 for t in times if t == pivot)
+        assert len(before) + len(after) == len(times) + at_pivot
+
+
+class TestMiningFromStorage:
+    def test_traces_from_storage_uses_end_positions(self):
+        from repro.process.mining.discovery import mine_from_storage, traces_from_storage
+
+        storage = CentralLogStorage()
+        script = [
+            ("a", "end", 1.0),
+            ("b", "start", 2.0),  # start position: excluded by default
+            ("b", "end", 3.0),
+            ("c", "end", 4.0),
+        ]
+        for step, position, time in script:
+            record = LogRecord(time=time, source="s", message=step, type="operation")
+            record.add_tag("trace:t1")
+            record.add_tag(f"step:{step}")
+            record.add_tag(f"position:{position}")
+            storage.append(record)
+        traces = traces_from_storage(storage)
+        assert traces == [["a", "b", "c"]]
+        model = mine_from_storage(storage)
+        assert ("a", "b") in model.edges and ("b", "c") in model.edges
+
+    def test_non_operation_records_ignored(self):
+        from repro.process.mining.discovery import traces_from_storage
+
+        storage = CentralLogStorage()
+        record = LogRecord(time=1.0, source="s", message="x", type="assertion")
+        record.add_tag("trace:t1")
+        record.add_tag("step:a")
+        record.add_tag("position:end")
+        storage.append(record)
+        assert traces_from_storage(storage) == []
+
+    def test_empty_storage_raises(self):
+        from repro.process.mining.discovery import mine_from_storage
+
+        with pytest.raises(ValueError, match="no usable traces"):
+            mine_from_storage(CentralLogStorage())

@@ -1,0 +1,109 @@
+"""Tests for log records, streams and patterns."""
+
+import pytest
+
+from repro.logsys.patterns import END, PROGRESS, LogPattern, PatternLibrary
+from repro.logsys.record import LogRecord, LogStream
+from repro.sim.clock import SimClock
+
+
+class TestLogRecord:
+    def test_add_tag_deduplicates(self):
+        record = LogRecord(time=0, source="s", message="m")
+        record.add_tag("x")
+        record.add_tag("x")
+        assert record.tags == ["x"]
+
+    def test_tag_value_prefix_lookup(self):
+        record = LogRecord(time=0, source="s", message="m", tags=["step:ready", "trace:t1"])
+        assert record.tag_value("step") == "ready"
+        assert record.tag_value("trace") == "t1"
+        assert record.tag_value("ghost") is None
+
+    def test_to_logstash_shape(self):
+        record = LogRecord(
+            time=1.0,
+            source="asgard.log",
+            message="hello",
+            type="operation",
+            tags=["a"],
+            fields={"num": "4"},
+            timestamp="2013-11-19 11:00:01,000",
+        )
+        doc = record.to_logstash()
+        assert doc["@source"] == "asgard.log"
+        assert doc["@tags"] == ["a"]
+        assert doc["@fields"] == {"num": "4"}
+        assert doc["@message"] == "hello"
+        assert doc["@type"] == "operation"
+
+    def test_str_contains_tags_and_message(self):
+        record = LogRecord(time=0, source="s", message="msg", tags=["t1"], timestamp="TS")
+        assert "t1" in str(record) and "msg" in str(record)
+
+
+class TestLogStream:
+    def test_emit_notifies_subscribers_in_order(self):
+        stream = LogStream("op.log")
+        seen = []
+        stream.subscribe(lambda r: seen.append(("a", r.message)))
+        stream.subscribe(lambda r: seen.append(("b", r.message)))
+        stream.emit(LogRecord(time=0, source="op.log", message="x"))
+        assert seen == [("a", "x"), ("b", "x")]
+
+    def test_emit_line_stamps_clock(self):
+        clock = SimClock()
+        clock.advance_to(61.0)
+        stream = LogStream("op.log")
+        record = stream.emit_line(clock, "hello")
+        assert record.time == 61.0
+        assert record.timestamp.startswith("2013-11-19 11:01:01")
+
+    def test_records_retained(self):
+        stream = LogStream("op.log")
+        clock = SimClock()
+        stream.emit_line(clock, "one")
+        stream.emit_line(clock, "two")
+        assert len(stream) == 2
+        assert [r.message for r in stream] == ["one", "two"]
+
+
+class TestLogPattern:
+    def test_invalid_position_rejected(self):
+        with pytest.raises(ValueError):
+            LogPattern("a", "x", position="middle")
+
+    def test_match_extracts_named_groups(self):
+        pattern = LogPattern("ready", r"Instance (?P<instanceid>i-\w+) ready")
+        fields = pattern.match("Instance i-abc123 ready")
+        assert fields == {"instanceid": "i-abc123"}
+
+    def test_no_match_returns_none(self):
+        pattern = LogPattern("ready", r"ready")
+        assert pattern.match("nothing here") is None
+
+
+class TestPatternLibrary:
+    def _library(self):
+        return PatternLibrary(
+            [
+                LogPattern("specific", r"Instance (?P<instanceid>i-\w+) terminated", position=END),
+                LogPattern("generic", r"Instance", position=PROGRESS),
+            ]
+        )
+
+    def test_first_match_wins(self):
+        classification = self._library().classify("Instance i-1 terminated")
+        assert classification.activity == "specific"
+
+    def test_fallthrough_to_later_pattern(self):
+        classification = self._library().classify("Instance booting")
+        assert classification.activity == "generic"
+
+    def test_unmatched(self):
+        classification = self._library().classify("unrelated text")
+        assert not classification.matched
+        assert classification.activity is None
+
+    def test_activities_in_first_seen_order(self):
+        assert self._library().activities() == ["specific", "generic"]

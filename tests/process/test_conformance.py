@@ -1,0 +1,113 @@
+"""Tests for the conformance-checking service."""
+
+from repro.logsys.patterns import END, LogPattern, PatternLibrary
+from repro.logsys.record import LogRecord
+from repro.logsys.storage import CentralLogStorage
+from repro.process.conformance import ERROR, FIT, UNFIT, UNKNOWN, ConformanceChecker
+from repro.process.model import ProcessModel
+from repro.sim.clock import SimClock
+
+
+def model():
+    m = ProcessModel("proc")
+    m.add_sequence("alpha", "beta", "gamma")
+    m.mark_start("alpha")
+    m.mark_end("gamma")
+    return m
+
+
+def library():
+    return PatternLibrary(
+        [
+            LogPattern("alpha", r"doing alpha", position=END),
+            LogPattern("beta", r"doing beta", position=END),
+            LogPattern("gamma", r"doing gamma", position=END),
+            LogPattern("op-error", r"ERROR .*", position=END, is_error=True),
+        ]
+    )
+
+
+def record(message, trace="t1"):
+    rec = LogRecord(time=0.0, source="op", message=message)
+    rec.add_tag(f"trace:{trace}")
+    return rec
+
+
+def checker(storage=None, on_error=None):
+    return ConformanceChecker(
+        model(), library(), clock=SimClock(), storage=storage, on_error=on_error
+    )
+
+
+class TestClassification:
+    def test_fit_sequence(self):
+        service = checker()
+        for message in ("doing alpha", "doing beta", "doing gamma"):
+            result = service.check(record(message))
+            assert result.status == FIT
+        assert service.fitness_of("t1") == 1.0
+
+    def test_unfit_out_of_order(self):
+        service = checker()
+        service.check(record("doing alpha"))
+        result = service.check(record("doing gamma"))
+        assert result.status == UNFIT
+        assert result.context.skipped_activities == ["beta"]
+        assert result.context.last_valid_activity == "alpha"
+
+    def test_unknown_line(self):
+        service = checker()
+        result = service.check(record("what even is this"))
+        assert result.status == UNKNOWN
+        assert result.is_error
+
+    def test_known_error_line(self):
+        service = checker()
+        result = service.check(record("ERROR boom"))
+        assert result.status == ERROR
+        assert result.activity == "op-error"
+
+    def test_record_tagged_with_status(self):
+        service = checker()
+        rec = record("doing alpha")
+        service.check(rec)
+        assert rec.has_tag("conformance:fit")
+
+    def test_per_trace_instances_isolated(self):
+        service = checker()
+        assert service.check(record("doing alpha", trace="t1")).status == FIT
+        assert service.check(record("doing alpha", trace="t2")).status == FIT
+        # In t1, alpha again is unfit; in a new trace t3 it is fit.
+        assert service.check(record("doing alpha", trace="t1")).status == UNFIT
+
+
+class TestSideEffects:
+    def test_errors_invoke_callback(self):
+        errors = []
+        service = checker(on_error=errors.append)
+        service.check(record("doing alpha"))
+        service.check(record("???"))
+        assert len(errors) == 1
+        assert errors[0].status == UNKNOWN
+
+    def test_results_logged_to_storage(self):
+        storage = CentralLogStorage()
+        service = checker(storage=storage)
+        service.check(record("doing alpha"))
+        logged = storage.query(type="conformance")
+        assert len(logged) == 1
+        assert "fit" in logged[0].message
+
+    def test_check_count_and_error_results(self):
+        service = checker()
+        service.check(record("doing alpha"))
+        service.check(record("nonsense"))
+        assert service.check_count == 2
+        assert len(service.error_results()) == 1
+
+    def test_service_time_matches_paper(self):
+        # "the conformance checking service responded on average in about
+        # 10ms" (§V.D).
+        service = checker()
+        result = service.check(record("doing alpha"))
+        assert result.elapsed == 0.010

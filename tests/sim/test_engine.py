@@ -1,0 +1,204 @@
+"""Tests for the discrete-event engine and processes."""
+
+import pytest
+
+from repro.sim.engine import Engine, Interrupt, Process
+
+
+def make_waiter(engine, delays, trace):
+    def proc():
+        for delay in delays:
+            yield engine.timeout(delay)
+            trace.append(engine.now)
+
+    return proc()
+
+
+class TestEngineBasics:
+    def test_run_drains_queue(self, engine):
+        trace = []
+        engine.process(make_waiter(engine, [1, 2, 3], trace))
+        engine.run()
+        assert trace == [1.0, 3.0, 6.0]
+
+    def test_run_until_time_stops_clock_exactly(self, engine):
+        trace = []
+        engine.process(make_waiter(engine, [10, 10], trace))
+        engine.run(until=15.0)
+        assert engine.now == 15.0
+        assert trace == [10.0]
+
+    def test_run_until_past_time_rejected(self, engine):
+        engine.run(until=10.0)
+        with pytest.raises(ValueError):
+            engine.run(until=5.0)
+
+    def test_peek_returns_next_event_time(self, engine):
+        engine.timeout(7.0)
+        assert engine.peek() == 7.0
+
+    def test_peek_empty_returns_inf(self, engine):
+        assert engine.peek() == float("inf")
+
+    def test_deterministic_ordering_at_same_time(self, engine):
+        order = []
+
+        def proc(name):
+            yield engine.timeout(5.0)
+            order.append(name)
+
+        engine.process(proc("a"))
+        engine.process(proc("b"))
+        engine.process(proc("c"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_two_engines_same_schedule_identical(self):
+        def run_one():
+            engine = Engine()
+            trace = []
+            engine.process(make_waiter(engine, [1.5, 2.5, 0.5], trace))
+            engine.process(make_waiter(engine, [2.0, 2.0], trace))
+            engine.run()
+            return trace
+
+        assert run_one() == run_one()
+
+
+class TestProcess:
+    def test_process_returns_value(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            return 42
+
+        process = engine.process(proc())
+        result = engine.run(until=process)
+        assert result == 42
+
+    def test_process_waits_on_process(self, engine):
+        def child():
+            yield engine.timeout(3.0)
+            return "done"
+
+        def parent():
+            value = yield engine.process(child())
+            return (engine.now, value)
+
+        result = engine.run(until=engine.process(parent()))
+        assert result == (3.0, "done")
+
+    def test_is_alive(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        process = engine.process(proc())
+        assert process.is_alive
+        engine.run()
+        assert not process.is_alive
+
+    def test_yield_non_event_raises(self, engine):
+        def proc():
+            yield 17
+
+        engine.process(proc())
+        with pytest.raises(TypeError):
+            engine.run()
+
+    def test_exception_delivered_to_waiter(self, engine):
+        def child():
+            yield engine.timeout(1.0)
+            raise ValueError("child failed")
+
+        def parent():
+            try:
+                yield engine.process(child())
+            except ValueError as exc:
+                return f"caught: {exc}"
+
+        result = engine.run(until=engine.process(parent()))
+        assert result == "caught: child failed"
+
+    def test_unwaited_crash_propagates(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            raise RuntimeError("fire and forget crash")
+
+        engine.process(proc())
+        with pytest.raises(RuntimeError, match="fire and forget"):
+            engine.run()
+
+    def test_interrupt_wakes_process(self, engine):
+        log = []
+
+        def proc():
+            try:
+                yield engine.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((engine.now, interrupt.cause))
+
+        process = engine.process(proc())
+
+        def interrupter():
+            yield engine.timeout(5.0)
+            process.interrupt("stop it")
+
+        engine.process(interrupter())
+        engine.run()
+        assert log == [(5.0, "stop it")]
+
+    def test_interrupt_dead_process_is_noop(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+
+        process = engine.process(proc())
+        engine.run()
+        process.interrupt()  # should not raise
+        engine.run()
+
+    def test_uncaught_interrupt_terminates_process(self, engine):
+        def proc():
+            yield engine.timeout(100.0)
+
+        process = engine.process(proc())
+
+        def interrupter():
+            yield engine.timeout(1.0)
+            process.interrupt()
+
+        engine.process(interrupter())
+        engine.run()
+        assert not process.is_alive
+
+    def test_run_until_failed_event_raises(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            raise KeyError("nope")
+
+        process = engine.process(proc())
+        # Register interest so the failure is delivered, then re-raised.
+        with pytest.raises(KeyError):
+            engine.run(until=process)
+
+    def test_process_name_default_and_repr(self, engine):
+        def myproc():
+            yield engine.timeout(0)
+
+        process = engine.process(myproc(), name="worker")
+        assert process.name == "worker"
+        assert "worker" in repr(process)
+
+
+class TestGeneratorHelpers:
+    def test_yield_from_composition(self, engine):
+        def inner():
+            yield engine.timeout(2.0)
+            return "inner-value"
+
+        def outer():
+            value = yield from inner()
+            yield engine.timeout(1.0)
+            return value + "!"
+
+        result = engine.run(until=engine.process(outer()))
+        assert result == "inner-value!"
+        assert engine.now == 3.0
