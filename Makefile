@@ -1,0 +1,17 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: check test bench
+
+# The fast gate for every push: tier-1 minus the slow full-campaign
+# tests, plus the parallel-campaign determinism regression.
+check:
+	python -m pytest -q -m "not slow"
+	python -m pytest -q tests/evaluation/test_parallel_campaign.py
+
+# The complete tier-1 suite (what the roadmap's verify command runs).
+test:
+	python -m pytest -x -q
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only -q

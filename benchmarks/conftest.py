@@ -10,6 +10,13 @@ from repro.evaluation.campaign import Campaign, CampaignConfig
 from repro.evaluation.metrics import compute_metrics
 
 
+def pytest_collection_modifyitems(items):
+    """Everything driven by the 160-run session campaign is tier-`slow`."""
+    for item in items:
+        if "campaign_outcomes" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def campaign_outcomes():
     """The paper's full campaign: 160 fault-injection runs."""

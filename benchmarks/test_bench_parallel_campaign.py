@@ -1,0 +1,107 @@
+"""Parallel campaign execution: serial vs pooled wall-clock.
+
+The campaign is embarrassingly parallel (each run provisions its own
+in-process testbed, seeded solely from its spec), so wall-clock should
+scale with cores while results stay bit-for-bit identical.  This bench
+runs a 48-run campaign (8 fault types x 6 runs) both ways and records:
+
+- serial and parallel wall-clock seconds,
+- per-run cost in each mode (the parallel figure includes pool start-up
+  and pickling overhead),
+- the speedup factor.
+
+On a multi-core host the 4-worker campaign should finish at least ~2x
+faster; on constrained CI boxes the determinism assertion still runs and
+the timing is recorded as trajectory data only.
+"""
+
+import os
+import pickle
+import time
+
+import pytest
+
+from repro.evaluation.campaign import Campaign, CampaignConfig
+from repro.evaluation.metrics import compute_metrics
+
+pytestmark = pytest.mark.slow
+
+WORKERS = 4
+
+#: 8 fault types x 6 runs = the acceptance campaign's 48 runs.
+CONFIG = CampaignConfig(runs_per_fault=6, large_cluster_runs=0, seed=4242)
+
+
+def _timed_campaign(max_workers):
+    start = time.perf_counter()
+    campaign = Campaign(CONFIG)
+    campaign.run(max_workers=max_workers)
+    return campaign, time.perf_counter() - start
+
+
+def test_bench_parallel_campaign_speedup(benchmark):
+    serial_campaign, serial_s = _timed_campaign(None)
+    total_runs = len(serial_campaign.outcomes)
+    assert total_runs == 48
+
+    parallel_campaign, parallel_s = benchmark.pedantic(
+        _timed_campaign, args=(WORKERS,), rounds=1, iterations=1
+    )
+
+    # Determinism: byte-identical Table I metrics at 4 workers.
+    serial_metrics = compute_metrics(serial_campaign.outcomes)
+    parallel_metrics = compute_metrics(parallel_campaign.outcomes)
+    assert pickle.dumps(parallel_metrics) == pickle.dumps(serial_metrics)
+    assert parallel_campaign.outcomes == serial_campaign.outcomes
+    assert serial_metrics.failed_runs == 0
+
+    speedup = serial_s / parallel_s
+    benchmark.extra_info["runs"] = total_runs
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["serial_s"] = round(serial_s, 3)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 3)
+    benchmark.extra_info["serial_per_run_ms"] = round(serial_s / total_runs * 1e3, 2)
+    benchmark.extra_info["parallel_per_run_ms"] = round(parallel_s / total_runs * 1e3, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+    print(f"\n  {total_runs}-run campaign: serial {serial_s:.2f}s"
+          f" ({serial_s / total_runs * 1e3:.0f} ms/run),"
+          f" {WORKERS} workers {parallel_s:.2f}s"
+          f" ({parallel_s / total_runs * 1e3:.0f} ms/run),"
+          f" speedup {speedup:.2f}x on {os.cpu_count()} core(s)")
+
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {WORKERS} workers on"
+            f" {os.cpu_count()} cores, got {speedup:.2f}x"
+        )
+
+
+def test_bench_pool_overhead(benchmark):
+    """Fixed cost of the pool path itself: a 2-run campaign with workers.
+
+    Measures what a tiny campaign pays for process start-up + spec/outcome
+    pickling — the floor below which ``--workers`` cannot help.
+    """
+    config = CampaignConfig(
+        runs_per_fault=1,
+        large_cluster_runs=0,
+        seed=4243,
+        fault_types=("AMI_UNAVAILABLE", "SG_WRONG"),
+    )
+    def timed_serial():
+        start = time.perf_counter()
+        Campaign(config).run()
+        return time.perf_counter() - start
+
+    serial_s = benchmark.pedantic(timed_serial, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    Campaign(config).run(max_workers=2)
+    pooled_s = time.perf_counter() - start
+    overhead = pooled_s - serial_s
+
+    benchmark.extra_info["pool_overhead_s"] = round(overhead, 3)
+    print(f"\n  2-run campaign: serial vs 2-worker overhead {overhead:+.2f}s"
+          f" (pool start-up + pickling)")

@@ -5,7 +5,10 @@ as in the paper), computes the Table I metrics and renders the Fig. 6/7
 outputs.  The full-scale 160-run campaign lives in ``benchmarks/``; this
 example keeps the run count small so it finishes in seconds.
 
-Run:  python examples/fault_injection_study.py [runs_per_fault]
+Run:  python examples/fault_injection_study.py [runs_per_fault] [workers]
+
+``workers`` fans the runs out across processes (-1 = all cores); the
+results are bit-for-bit identical at any worker count.
 """
 
 import sys
@@ -15,7 +18,7 @@ from repro.evaluation.figures import render_fig6, render_fig7, render_headline
 from repro.evaluation.metrics import compute_metrics
 
 
-def main(runs_per_fault: int = 4) -> None:
+def main(runs_per_fault: int = 4, workers: int = 1) -> None:
     config = CampaignConfig(
         runs_per_fault=runs_per_fault,
         large_cluster_runs=max(1, runs_per_fault // 5),
@@ -35,7 +38,7 @@ def main(runs_per_fault: int = 4) -> None:
             f" {status}/{correct} interference={interference}"
         )
 
-    campaign.run(progress=progress)
+    campaign.run(progress=progress, max_workers=workers)
     metrics = compute_metrics(campaign.outcomes)
 
     print()
@@ -47,4 +50,7 @@ def main(runs_per_fault: int = 4) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 4,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 1,
+    )

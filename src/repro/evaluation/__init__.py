@@ -3,6 +3,8 @@
 - :mod:`faults` — the 8 injected fault types and their scheduling;
 - :mod:`campaign` — run the 8 x 20 fault-injection campaign with mixed
   concurrent interference, collecting per-run outcomes;
+- :mod:`parallel` — fan campaign runs out across worker processes with
+  bit-for-bit deterministic results and per-run crash isolation;
 - :mod:`metrics` — Table I: precision/recall of detection, accuracy rate
   of diagnosis, overall and per fault type (Fig. 7);
 - :mod:`figures` — the diagnosis-time distribution (Fig. 6), conformance
@@ -11,6 +13,7 @@
 
 from repro.evaluation.faults import FAULT_TYPES, FaultPlan, apply_fault
 from repro.evaluation.campaign import Campaign, CampaignConfig, RunOutcome, run_single
+from repro.evaluation.parallel import ParallelCampaign, execute_run, execute_specs
 from repro.evaluation.metrics import (
     CampaignMetrics,
     FaultTypeMetrics,
@@ -30,9 +33,12 @@ __all__ = [
     "FAULT_TYPES",
     "FaultPlan",
     "FaultTypeMetrics",
+    "ParallelCampaign",
     "RunOutcome",
     "apply_fault",
     "compute_metrics",
+    "execute_run",
+    "execute_specs",
     "diagnosis_time_distribution",
     "render_fig6",
     "render_fig7",

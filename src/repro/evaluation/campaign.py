@@ -83,6 +83,33 @@ class RunOutcome:
     first_detection_at: float | None
     first_detection_kind: str | None
     conformance_before_assertion: bool
+    #: Traceback text when the run itself crashed (worker exception); the
+    #: campaign reports such runs as structured failures instead of dying,
+    #: and metrics exclude them rather than miscounting.
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+    @classmethod
+    def failure(cls, spec: RunSpec, error: str) -> "RunOutcome":
+        """A structured record for a run that crashed instead of finishing."""
+        return cls(
+            spec=spec,
+            injected_at=None,
+            reverted_at=None,
+            truth=[],
+            fault_manifested=False,
+            operation_status="crashed",
+            orchestrator_detected_at=None,
+            detections=[],
+            reports=[],
+            first_detection_at=None,
+            first_detection_kind=None,
+            conformance_before_assertion=False,
+            error=error,
+        )
 
     # -- scoring (Table I semantics) -----------------------------------------
 
@@ -199,6 +226,14 @@ class CampaignConfig:
     #: Probability a (revertible) configuration fault is transient.
     p_transient: float = 0.08
     max_instances: int = 40
+    #: Restrict the campaign to a subset of fault types (None = all 8).
+    fault_types: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.fault_types is not None:
+            unknown = set(self.fault_types) - set(FAULT_TYPES)
+            if unknown:
+                raise ValueError(f"unknown fault types: {sorted(unknown)}")
 
 
 _FAULT_ERROR_CODES = {
@@ -347,7 +382,7 @@ class Campaign:
         config = self.config
         rng = random.Random(config.seed)
         specs: list[RunSpec] = []
-        for fault_type in FAULT_TYPES:
+        for fault_type in config.fault_types or FAULT_TYPES:
             for index in range(config.runs_per_fault):
                 large = index < config.large_cluster_runs
                 cluster = config.cluster_large if large else config.cluster_small
@@ -384,16 +419,19 @@ class Campaign:
                 )
         return specs
 
-    def run(self, progress: _t.Callable[[int, int, RunOutcome], None] | None = None) -> list[RunOutcome]:
+    def run(
+        self,
+        progress: _t.Callable[[int, int, RunOutcome], None] | None = None,
+        max_workers: int | None = None,
+    ) -> list[RunOutcome]:
+        """Execute every run, serially or across ``max_workers`` processes.
+
+        Outcomes are returned in spec order regardless of worker count;
+        for a fixed config seed the results are bit-for-bit identical at
+        any parallelism (see :mod:`repro.evaluation.parallel`).
+        """
+        from repro.evaluation.parallel import execute_specs
+
         specs = self.build_specs()
-        for index, spec in enumerate(specs):
-            outcome = run_single(spec)
-            if outcome.injected_at is None:
-                # The upgrade finished before the sampled injection point;
-                # retry earlier so every run truly injects mid-operation.
-                retry = dataclasses.replace(spec, inject_at=max(10.0, spec.inject_at / 3))
-                outcome = run_single(retry)
-            self.outcomes.append(outcome)
-            if progress is not None:
-                progress(index + 1, len(specs), outcome)
+        self.outcomes.extend(execute_specs(specs, max_workers=max_workers, progress=progress))
         return self.outcomes

@@ -69,6 +69,9 @@ class CampaignMetrics:
     detection_latencies: list[float]
     conformance_first_runs: int
     conformance_eligible_runs: int
+    #: Runs that crashed (structured failures): excluded from every rate
+    #: above rather than silently miscounted as misses or FPs.
+    failed_runs: int = 0
 
     @property
     def tp(self) -> int:
@@ -130,8 +133,12 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
     conformance_eligible = 0
     total_correct = 0
     total_fp = 0
+    failed_runs = 0
 
     for outcome in outcomes:
+        if outcome.failed:
+            failed_runs += 1
+            continue
         ft = outcome.spec.fault_type
         bucket = per_fault.setdefault(ft, FaultTypeMetrics(fault_type=ft))
         bucket.runs += 1
@@ -190,4 +197,5 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
         detection_latencies=detection_latencies,
         conformance_first_runs=conformance_first,
         conformance_eligible_runs=conformance_eligible,
+        failed_runs=failed_runs,
     )

@@ -1,0 +1,150 @@
+"""Parallel campaign execution: fan runs out to worker processes.
+
+Every campaign run provisions its own in-process testbed and is seeded
+exclusively from its :class:`~repro.evaluation.campaign.RunSpec`, so the
+campaign is embarrassingly parallel: outcomes depend only on the spec,
+never on which worker executed them or in what order they finished.
+This module exploits that:
+
+- :func:`execute_run` — one spec, with the inject-earlier retry and
+  crash isolation (a raising run becomes a structured failure
+  :class:`~repro.evaluation.campaign.RunOutcome`, never a dead campaign);
+- :func:`execute_specs` — a batch of specs, serially or across a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, results re-sorted
+  into spec order so worker count and completion order are invisible;
+- :class:`ParallelCampaign` — a :class:`~repro.evaluation.campaign.Campaign`
+  that defaults to using every core.
+
+**Determinism guarantee:** for a fixed :class:`CampaignConfig` seed, the
+outcome list — and therefore the computed
+:class:`~repro.evaluation.metrics.CampaignMetrics` — is bit-for-bit
+identical whether the campaign runs serially or with any number of
+workers.
+
+**Progress bridge:** callbacks cannot cross process boundaries (they are
+not picklable, and the child's prints would interleave).  Instead each
+worker returns its finished outcome through the future and the *parent*
+invokes ``progress(completed, total, outcome)`` as results arrive — in
+completion order for the pool path, in spec order for the serial path.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import functools
+import os
+import traceback
+import typing as _t
+
+from repro.evaluation.campaign import Campaign, CampaignConfig, RunOutcome, RunSpec, run_single
+
+#: A callable executing one spec; must be a picklable top-level function
+#: when used with worker processes.
+Runner = _t.Callable[[RunSpec], RunOutcome]
+
+#: Progress callback: (completed runs, total runs, the outcome that just
+#: finished).  Invoked in the parent process only.
+ProgressFn = _t.Callable[[int, int, RunOutcome], None]
+
+
+def execute_run(spec: RunSpec, runner: Runner | None = None) -> RunOutcome:
+    """Execute one campaign run, isolated against crashes.
+
+    If the upgrade finishes before the sampled injection point, the run
+    is retried with an earlier injection so every outcome truly injects
+    mid-operation (same policy as the original serial loop).  Any
+    exception out of the run becomes a structured failure record carrying
+    the traceback, so one broken run cannot kill a whole campaign.
+    """
+    run = runner if runner is not None else run_single
+    try:
+        outcome = run(spec)
+        if outcome.injected_at is None:
+            retry = dataclasses.replace(spec, inject_at=max(10.0, spec.inject_at / 3))
+            outcome = run(retry)
+        return outcome
+    except Exception:
+        return RunOutcome.failure(spec, traceback.format_exc())
+
+
+def resolve_workers(max_workers: int | None, total: int = 0) -> int:
+    """Normalise a worker-count knob to an effective pool size.
+
+    ``None``, ``0`` and ``1`` mean serial; any negative value means "all
+    cores" (``os.cpu_count()``); positive values are capped at the number
+    of specs (spawning idle workers is pure overhead).
+    """
+    if max_workers is None or max_workers in (0, 1):
+        return 1
+    workers = os.cpu_count() or 1 if max_workers < 0 else max_workers
+    return max(1, min(workers, total) if total else workers)
+
+
+def execute_specs(
+    specs: _t.Sequence[RunSpec],
+    max_workers: int | None = None,
+    progress: ProgressFn | None = None,
+    runner: Runner | None = None,
+) -> list[RunOutcome]:
+    """Execute a batch of specs, serially or across a process pool.
+
+    The returned list is always in spec order, independent of worker
+    count and completion order.  ``runner`` substitutes the per-run
+    function (testing hook); with workers it must be picklable.
+    """
+    specs = list(specs)
+    total = len(specs)
+    workers = resolve_workers(max_workers, total)
+    if workers <= 1 or total <= 1:
+        outcomes = []
+        for index, spec in enumerate(specs):
+            outcome = execute_run(spec, runner)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index + 1, total, outcome)
+        return outcomes
+
+    task: _t.Callable[[RunSpec], RunOutcome] = (
+        execute_run if runner is None else functools.partial(execute_run, runner=runner)
+    )
+    results: list[RunOutcome | None] = [None] * total
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(task, spec): index for index, spec in enumerate(specs)}
+        completed = 0
+        for future in concurrent.futures.as_completed(futures):
+            index = futures[future]
+            try:
+                outcome = future.result()
+            except Exception as exc:
+                # execute_run already catches run exceptions inside the
+                # worker; reaching here means the worker itself died
+                # (killed, OOM, unpicklable result).  Still not fatal.
+                outcome = RunOutcome.failure(
+                    specs[index], f"worker failed: {type(exc).__name__}: {exc}"
+                )
+            results[index] = outcome
+            completed += 1
+            if progress is not None:
+                progress(completed, total, outcome)
+    return _t.cast("list[RunOutcome]", results)
+
+
+class ParallelCampaign(Campaign):
+    """A :class:`Campaign` that fans runs out across worker processes.
+
+    ``max_workers=-1`` (the default) uses every core; results are
+    identical to the serial :class:`Campaign` for the same config.
+    """
+
+    def __init__(self, config: CampaignConfig | None = None, max_workers: int = -1) -> None:
+        super().__init__(config)
+        self.max_workers = max_workers
+
+    def run(
+        self,
+        progress: ProgressFn | None = None,
+        max_workers: int | None = None,
+    ) -> list[RunOutcome]:
+        effective = self.max_workers if max_workers is None else max_workers
+        return super().run(progress=progress, max_workers=effective)

@@ -43,9 +43,9 @@ class SweepPoint:
         }
 
 
-def _run_campaign(config: CampaignConfig) -> CampaignMetrics:
+def _run_campaign(config: CampaignConfig, max_workers: int | None = None) -> CampaignMetrics:
     campaign = Campaign(config)
-    campaign.run()
+    campaign.run(max_workers=max_workers)
     return compute_metrics(campaign.outcomes)
 
 
@@ -53,6 +53,7 @@ def sweep_interference(
     rates: _t.Sequence[float] = (0.0, 0.25, 0.5),
     runs_per_fault: int = 3,
     seed: int = 7001,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """Scale all three interference probabilities together.
 
@@ -70,7 +71,7 @@ def sweep_interference(
             p_random_termination=rate / 2,
             p_account_pressure=rate / 4,
         )
-        points.append(SweepPoint("interference_rate", rate, _run_campaign(config)))
+        points.append(SweepPoint("interference_rate", rate, _run_campaign(config, max_workers)))
     return points
 
 
@@ -78,6 +79,7 @@ def sweep_cluster_size(
     sizes: _t.Sequence[int] = (4, 20),
     runs_per_fault: int = 2,
     seed: int = 7002,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """All-small vs all-large campaigns (batch size follows the paper)."""
     points = []
@@ -88,7 +90,7 @@ def sweep_cluster_size(
             cluster_small=size if size != 20 else 4,
             seed=seed,
         )
-        points.append(SweepPoint("cluster_size", size, _run_campaign(config)))
+        points.append(SweepPoint("cluster_size", size, _run_campaign(config, max_workers)))
     return points
 
 
@@ -96,6 +98,7 @@ def sweep_transient_rate(
     rates: _t.Sequence[float] = (0.0, 0.5),
     runs_per_fault: int = 3,
     seed: int = 7003,
+    max_workers: int | None = None,
 ) -> list[SweepPoint]:
     """How much do transient (inject-then-revert) faults hurt accuracy?
 
@@ -113,7 +116,7 @@ def sweep_transient_rate(
             p_random_termination=0.0,
             p_account_pressure=0.0,
         )
-        points.append(SweepPoint("transient_rate", rate, _run_campaign(config)))
+        points.append(SweepPoint("transient_rate", rate, _run_campaign(config, max_workers)))
     return points
 
 

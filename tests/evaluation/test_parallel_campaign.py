@@ -1,0 +1,228 @@
+"""Parallel campaign execution: determinism, crash isolation, pickling.
+
+The campaign's determinism contract: for a fixed config seed, outcomes —
+and the computed ``CampaignMetrics`` — are bit-for-bit identical whether
+the runs execute serially or across any number of worker processes.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.evaluation.campaign import (
+    Campaign,
+    CampaignConfig,
+    ReportSummary,
+    RunOutcome,
+    RunSpec,
+    run_single,
+)
+from repro.evaluation.metrics import compute_metrics
+from repro.evaluation.parallel import (
+    ParallelCampaign,
+    execute_run,
+    execute_specs,
+    resolve_workers,
+)
+from repro.operations.interference import InterferencePlan
+
+#: Reduced campaign for the regression tests: 2 fault types x 3 runs.
+SMALL_CONFIG = CampaignConfig(
+    runs_per_fault=3,
+    large_cluster_runs=0,
+    seed=424,
+    fault_types=("AMI_UNAVAILABLE", "SG_WRONG"),
+)
+
+
+def _run(config: CampaignConfig, max_workers: int | None) -> tuple[list[RunOutcome], bytes]:
+    campaign = Campaign(config)
+    campaign.run(max_workers=max_workers)
+    return campaign.outcomes, pickle.dumps(compute_metrics(campaign.outcomes))
+
+
+def _explode_on_second(spec: RunSpec) -> RunOutcome:
+    """Picklable runner that crashes for exactly one spec."""
+    if spec.run_id.endswith("-02"):
+        raise RuntimeError("injected worker crash")
+    return run_single(spec)
+
+
+class TestDeterminism:
+    def test_worker_count_invisible_in_outcomes(self):
+        serial, serial_metrics = _run(SMALL_CONFIG, None)
+        two, two_metrics = _run(SMALL_CONFIG, 2)
+        four, four_metrics = _run(SMALL_CONFIG, 4)
+        for parallel in (two, four):
+            assert [o.truth for o in parallel] == [o.truth for o in serial]
+            assert [[r.causes for r in o.reports] for o in parallel] == [
+                [r.causes for r in o.reports] for o in serial
+            ]
+            assert parallel == serial  # full dataclass equality, spec order
+        # Byte-identical Table I metrics at any parallelism.
+        assert serial_metrics == two_metrics == four_metrics
+
+    @pytest.mark.slow
+    def test_full_fault_mix_deterministic(self):
+        config = CampaignConfig(runs_per_fault=1, large_cluster_runs=0, seed=77)
+        serial, serial_metrics = _run(config, None)
+        four, four_metrics = _run(config, 4)
+        assert four == serial
+        assert serial_metrics == four_metrics
+
+    def test_parallel_campaign_class_matches_serial(self):
+        serial, serial_metrics = _run(SMALL_CONFIG, None)
+        campaign = ParallelCampaign(SMALL_CONFIG, max_workers=2)
+        outcomes = campaign.run()
+        assert outcomes == serial
+        assert pickle.dumps(compute_metrics(outcomes)) == serial_metrics
+
+
+class TestCrashIsolation:
+    def _specs(self):
+        return Campaign(SMALL_CONFIG).build_specs()
+
+    @pytest.mark.parametrize("max_workers", [None, 2])
+    def test_one_crashing_run_does_not_kill_campaign(self, max_workers):
+        specs = self._specs()
+        outcomes = execute_specs(specs, max_workers=max_workers, runner=_explode_on_second)
+        assert len(outcomes) == len(specs)
+        failed = [o for o in outcomes if o.failed]
+        assert [o.spec.run_id for o in failed] == [
+            s.run_id for s in specs if s.run_id.endswith("-02")
+        ]
+        for outcome in failed:
+            assert "injected worker crash" in outcome.error
+            assert outcome.operation_status == "crashed"
+            assert outcome.detections == [] and outcome.reports == []
+            # Failure records must not score as anything.
+            assert not outcome.fault_detected
+            assert outcome.false_positive_reports() == []
+
+    def test_metrics_exclude_failed_runs(self):
+        specs = self._specs()
+        outcomes = execute_specs(specs, runner=_explode_on_second)
+        clean = [o for o in outcomes if not o.failed]
+        metrics = compute_metrics(outcomes)
+        assert metrics.failed_runs == len(outcomes) - len(clean)
+        assert metrics.failed_runs > 0
+        # Rates computed over the clean runs only: a crash is neither a
+        # missed detection nor a false positive.
+        assert metrics.total_runs == len(outcomes)
+        assert metrics.faults_injected == len(clean)
+        clean_metrics = compute_metrics(clean)
+        assert metrics.recall == clean_metrics.recall
+        assert metrics.precision == clean_metrics.precision
+        assert metrics.accuracy_rate == clean_metrics.accuracy_rate
+
+    def test_monkeypatched_run_single_serial(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(spec):
+            calls["n"] += 1
+            raise ValueError("kaboom")
+
+        import repro.evaluation.parallel as parallel_mod
+
+        monkeypatch.setattr(parallel_mod, "run_single", flaky)
+        campaign = Campaign(SMALL_CONFIG)
+        outcomes = campaign.run()
+        assert calls["n"] == len(outcomes)
+        assert all(o.failed and "kaboom" in o.error for o in outcomes)
+        assert compute_metrics(outcomes).failed_runs == len(outcomes)
+
+
+class TestProgressBridge:
+    def test_progress_fires_in_parent_for_every_run(self):
+        specs = Campaign(SMALL_CONFIG).build_specs()
+        seen: list[tuple[int, int, str]] = []
+        outcomes = execute_specs(
+            specs,
+            max_workers=2,
+            progress=lambda done, total, outcome: seen.append(
+                (done, total, outcome.spec.run_id)
+            ),
+        )
+        assert [done for done, _t, _r in seen] == list(range(1, len(specs) + 1))
+        assert all(total == len(specs) for _d, total, _r in seen)
+        # Completion order may differ from spec order, but every run
+        # reports exactly once and the result list is in spec order.
+        assert sorted(run_id for _d, _t, run_id in seen) == sorted(s.run_id for s in specs)
+        assert [o.spec.run_id for o in outcomes] == [s.run_id for s in specs]
+
+    def test_serial_progress_in_spec_order(self):
+        specs = Campaign(SMALL_CONFIG).build_specs()[:2]
+        seen = []
+        execute_specs(specs, progress=lambda d, t, o: seen.append(o.spec.run_id))
+        assert seen == [s.run_id for s in specs]
+
+
+class TestPicklability:
+    def test_run_spec_round_trips(self):
+        spec = RunSpec(
+            run_id="p-1",
+            fault_type="AMI_CHANGED",
+            seed=3,
+            cluster_size=20,
+            inject_at=55.5,
+            transient=True,
+            interference=InterferencePlan(scale_in_at=80.0, second_team_pressure_at=10.0),
+        )
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_interference_plan_round_trips(self):
+        plan = InterferencePlan(
+            scale_in_at=1.0,
+            scale_in_by=2,
+            random_termination_at=3.0,
+            second_team_pressure_at=4.0,
+            second_team_target_headroom=-6,
+        )
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_run_outcome_round_trips(self):
+        spec = RunSpec(run_id="p-2", fault_type="AMI_UNAVAILABLE", seed=902, inject_at=40.0)
+        outcome = execute_run(spec)
+        restored = pickle.loads(pickle.dumps(outcome))
+        assert restored == outcome
+        assert isinstance(restored.reports[0], ReportSummary) if restored.reports else True
+        # Scoring still works on the restored object.
+        assert restored.fault_detected == outcome.fault_detected
+        assert restored.fault_diagnosed_correctly() == outcome.fault_diagnosed_correctly()
+
+    def test_failure_record_round_trips(self):
+        spec = RunSpec(run_id="p-3", fault_type="SG_WRONG", seed=7, inject_at=30.0)
+        outcome = RunOutcome.failure(spec, "Traceback: boom")
+        restored = pickle.loads(pickle.dumps(outcome))
+        assert restored == outcome
+        assert restored.failed
+
+    def test_no_unpicklable_defaults_in_spec_fields(self):
+        # A default_factory returning an unpicklable object (lambda, open
+        # handle) would only explode inside a pool; catch it here.
+        for cls in (RunSpec, InterferencePlan):
+            for field in dataclasses.fields(cls):
+                if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+                    pickle.dumps(field.default_factory())
+
+
+class TestResolveWorkers:
+    def test_serial_values(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+    def test_capped_at_total(self):
+        assert resolve_workers(8, total=3) == 3
+
+    def test_negative_means_all_cores(self):
+        assert resolve_workers(-1, total=1000) >= 1
+
+    def test_retry_uses_earlier_injection(self):
+        # A spec whose injection point lands after the upgrade finishes
+        # must be retried earlier — same policy as the old serial loop.
+        spec = RunSpec(run_id="late", fault_type="AMI_UNAVAILABLE", seed=31, inject_at=900.0)
+        outcome = execute_run(spec)
+        assert outcome.injected_at is not None
+        assert outcome.spec.inject_at == 300.0

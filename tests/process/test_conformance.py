@@ -1,5 +1,8 @@
 """Tests for the conformance-checking service."""
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.logsys.patterns import END, LogPattern, PatternLibrary
 from repro.logsys.record import LogRecord
 from repro.logsys.storage import CentralLogStorage
@@ -111,3 +114,75 @@ class TestSideEffects:
         service = checker()
         result = service.check(record("doing alpha"))
         assert result.elapsed == 0.010
+
+
+#: Lines the model/library know about, including the known error line.
+KNOWN_LINES = ("doing alpha", "doing beta", "doing gamma", "ERROR boom")
+
+#: Garbage that can match no pattern (alphabet shares no substring with
+#: "doing ..." or "ERROR ..."), so every noise line classifies UNKNOWN.
+noise_lines = st.text(alphabet="xyz0189_", min_size=1, max_size=20)
+
+any_line = st.one_of(st.sampled_from(KNOWN_LINES), noise_lines)
+
+
+class TestReplayerProperties:
+    """Token replay must survive arbitrary log streams (§III.B.2).
+
+    Real operation logs arrive shuffled (concurrent steps), duplicated
+    (retries) and truncated (crashed operations); the replayer's job is
+    to classify, never to crash.
+    """
+
+    @given(lines=st.lists(any_line, max_size=40), trace_count=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_streams_never_crash(self, lines, trace_count):
+        service = checker()
+        for index, message in enumerate(lines):
+            result = service.check(record(message, trace=f"t{index % trace_count}"))
+            assert result.status in (FIT, UNFIT, UNKNOWN, ERROR)
+            assert result.trace_id == f"t{index % trace_count}"
+        assert service.check_count == len(lines)
+        for trace in range(trace_count):
+            assert 0.0 <= service.fitness_of(f"t{trace}") <= 1.0
+
+    @given(order=st.permutations(list(KNOWN_LINES[:3]) * 2))
+    @settings(max_examples=60, deadline=None)
+    def test_shuffled_duplicated_trace_replays(self, order):
+        service = checker()
+        statuses = [service.check(record(message)).status for message in order]
+        # Known activities shuffled/duplicated are always classified as
+        # fit or unfit — never unknown, never an exception.
+        assert all(status in (FIT, UNFIT) for status in statuses)
+        assert len(service.error_results()) == sum(1 for s in statuses if s != FIT)
+
+    @given(cut=st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_truncated_trace_replays(self, cut):
+        service = checker()
+        for message in KNOWN_LINES[:3][:cut]:
+            assert service.check(record(message)).status == FIT
+        # A truncated prefix of the happy path is perfectly fit and its
+        # fitness never exceeds 1.
+        assert 0.0 <= service.fitness_of("t1") <= 1.0
+
+    @given(noise=st.lists(noise_lines, max_size=12), interleave=st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_unknown_count_monotone_in_noise(self, noise, interleave):
+        base = list(KNOWN_LINES[:3])
+        counts = []
+        for k in range(len(noise) + 1):
+            service = checker()
+            if interleave:
+                lines = []
+                for index, message in enumerate(base):
+                    lines.append(message)
+                    lines.extend(noise[:k][index::len(base)])
+            else:
+                lines = base + noise[:k]
+            for message in lines:
+                service.check(record(message))
+            unknown = sum(1 for r in service.results if r.status == UNKNOWN)
+            assert unknown == k  # every noise line is UNKNOWN, nothing else is
+            counts.append(unknown)
+        assert counts == sorted(counts)  # monotone in injected noise
