@@ -1,13 +1,17 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test bench
+.PHONY: check test bench chaos
 
 # The fast gate for every push: tier-1 minus the slow full-campaign
 # tests, plus the parallel-campaign determinism regression.
 check:
 	python -m pytest -q -m "not slow"
 	python -m pytest -q tests/evaluation/test_parallel_campaign.py
+
+# Seeded API-plane chaos regression (severe profile, zero crashed runs).
+chaos:
+	python -m pytest -q -m "chaos and not slow"
 
 # The complete tier-1 suite (what the roadmap's verify command runs).
 test:

@@ -1,0 +1,47 @@
+"""Chaos sweep: diagnosis quality vs API-plane health (beyond the paper).
+
+Not a paper figure — the paper assumes a healthy AWS control plane.  This
+bench degrades the plane itself (`repro.cloud.chaos`) across the named
+levels and tabulates precision / recall / diagnosis time against API
+health, validating the degradation guarantee end-to-end:
+
+- no run crashes at any chaos level (chaos-induced API failures become
+  INCONCLUSIVE verdicts, never exceptions escaping a run);
+- recall survives the degraded plane (detection is log-driven and does
+  not depend on control-plane reads);
+- degraded verdicts rise monotonically with chaos severity while a calm
+  plane records none;
+- diagnosis slows as the plane degrades (retries, backoff, brownouts)
+  rather than silently failing fast with wrong answers.
+"""
+
+from repro.evaluation.sweeps import render_sweep, sweep_chaos
+
+
+def test_bench_sweep_chaos(benchmark):
+    points = benchmark.pedantic(
+        sweep_chaos,
+        kwargs={"levels": ("none", "mild", "moderate", "severe"), "runs_per_fault": 3},
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_sweep(points))
+    by_level = {p.value: p for p in points}
+
+    for point in points:
+        assert point.row()["crashed_runs"] == 0, f"run crashed at level={point.value}"
+        assert point.metrics.recall == 1.0, f"recall collapsed at level={point.value}"
+
+    degraded = [by_level[lvl].row()["degraded_verdicts"] for lvl in
+                ("none", "mild", "moderate", "severe")]
+    assert degraded[0] == 0
+    assert degraded[-1] > 0
+    assert degraded == sorted(degraded), f"degradation not monotone: {degraded}"
+
+    # A severe plane injects visible API-level damage...
+    severe_health = by_level["severe"].metrics.api_health
+    assert severe_health["chaos_errors"] > 0
+    assert severe_health["retries"] > by_level["none"].metrics.api_health["retries"]
+    # ...and buys its inconclusiveness with time, not wrong answers.
+    calm_diag = by_level["none"].row()["diag_mean_s"]
+    severe_diag = by_level["severe"].row()["diag_mean_s"]
+    assert severe_diag >= calm_diag

@@ -83,6 +83,7 @@ class Assertion:
         started_at: float,
         observed: dict | None = None,
         timed_out: bool = False,
+        degraded: bool = False,
     ) -> AssertionResult:
         return AssertionResult(
             assertion_id=self.assertion_id,
@@ -93,6 +94,7 @@ class Assertion:
             params=dict(params),
             observed=dict(observed or {}),
             timed_out=timed_out,
+            degraded=degraded,
         )
 
     def __repr__(self) -> str:

@@ -17,31 +17,156 @@ experiments, at the 95% percentile."
 - per-call timeout, calibrated by default to the 95th percentile of the
   latency model.
 
-Both are simulation generators: drive them with ``yield from`` inside an
-engine process, or through
+On top of the paper's retry+timeout the client is hardened against a
+degraded API plane (see :mod:`repro.cloud.chaos`):
+
+- **full-jitter exponential backoff** (``jitter=True``) decorrelates
+  retries so an error storm is not answered with a synchronized
+  retry storm;
+- a **retry budget** (token bucket) caps the total retry volume so one
+  flaky endpoint cannot starve a whole assertion batch;
+- a per-method **circuit breaker** fails fast after ``breaker_threshold``
+  consecutive retryable failures, with a half-open probe after
+  ``breaker_cooldown`` seconds;
+- **deadline propagation**: ``call_until`` passes its own deadline into
+  each inner ``call``, so inner retries never outlive the outer timeout;
+- **blackhole absorption**: a chaos-blackholed call consumes the
+  remaining deadline and surfaces as a timeout instead of hanging the
+  simulation.
+
+Failures caused by the chaos layer (rather than by real resource state)
+are flagged ``degraded=True`` on the raised :class:`ConsistentCallError`,
+letting diagnosis downgrade them to *inconclusive* rather than treating
+API noise as evidence.
+
+Both entry points are simulation generators: drive them with
+``yield from`` inside an engine process, or through
 :meth:`repro.assertions.evaluation.AssertionEvaluationService`.
 """
 
 from __future__ import annotations
 
+import random
 import typing as _t
 
 from repro.cloud.api import CloudAPI
-from repro.cloud.errors import CloudError
+from repro.cloud.chaos import BlackholedCall
+from repro.cloud.errors import CloudError, ResourceNotFound
 from repro.sim.latency import LatencyModel, aws_api_latency
 
 
 class ConsistentCallError(Exception):
-    """A call exhausted its retries or its deadline."""
+    """A call exhausted its retries, its budget, or its deadline.
 
-    def __init__(self, message: str, timed_out: bool = False, last_error: Exception | None = None) -> None:
+    ``degraded`` is True when the failure is attributable to API-plane
+    degradation (chaos-injected errors, blackholes, or a breaker tripped
+    by chaos) rather than to actual resource state — downstream consumers
+    must treat degraded failures as *inconclusive*, never as evidence.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        timed_out: bool = False,
+        last_error: Exception | None = None,
+        degraded: bool = False,
+        breaker_open: bool = False,
+    ) -> None:
         super().__init__(message)
         self.timed_out = timed_out
         self.last_error = last_error
+        self.degraded = degraded
+        self.breaker_open = breaker_open
+
+
+class RetryBudget:
+    """Token bucket bounding a client's total retry volume.
+
+    Each retry spends one token; tokens refill at ``refill_rate`` per
+    simulated second up to ``capacity``.  When the bucket is empty the
+    call fails fast instead of joining the retry storm — the standard
+    'retry budget' pattern that keeps one flaky endpoint from consuming
+    the entire assertion batch's time.
+    """
+
+    def __init__(self, capacity: float = 32.0, refill_rate: float = 0.75) -> None:
+        if capacity <= 0 or refill_rate < 0:
+            raise ValueError("capacity must be positive and refill_rate non-negative")
+        self.capacity = capacity
+        self.refill_rate = refill_rate
+        self.tokens = capacity
+        self._last_refill = 0.0
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.refill_rate)
+
+    def try_spend(self, now: float) -> bool:
+        """Take one token; False means the budget is exhausted."""
+        self._refill(now)
+        if self.tokens < 1.0:
+            return False
+        self.tokens -= 1.0
+        return True
+
+
+class CircuitBreaker:
+    """Per-method breaker: open after N consecutive retryable failures.
+
+    States: *closed* (calls flow), *open* (fail fast until ``cooldown``
+    elapses), *half-open* (exactly one probe call allowed; success closes
+    the breaker, failure re-opens it).  ``chaos_tainted`` remembers
+    whether any failure that contributed to opening was chaos-injected,
+    so fast-fails can be labelled degraded only when chaos is implicated.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(self, threshold: int, cooldown: float) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.chaos_tainted = False
+        self.trips = 0
+
+    def allow(self, now: float) -> bool:
+        if self.state == self.CLOSED:
+            return True
+        if self.state == self.OPEN and now - self.opened_at >= self.cooldown:
+            self.state = self.HALF_OPEN
+            return True  # the single half-open probe
+        return False
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.chaos_tainted = False
+
+    def record_failure(self, now: float, chaos: bool = False) -> bool:
+        """Record one retryable failure; True if the breaker newly opened."""
+        self.chaos_tainted = self.chaos_tainted or chaos
+        if self.state == self.HALF_OPEN:
+            self.state = self.OPEN
+            self.opened_at = now
+            self.trips += 1
+            return True
+        self.consecutive_failures += 1
+        if self.state == self.CLOSED and self.consecutive_failures >= self.threshold:
+            self.state = self.OPEN
+            self.opened_at = now
+            self.trips += 1
+            return True
+        return False
 
 
 class ConsistentApiClient:
-    """Retrying, timeout-guarded facade over a :class:`CloudAPI`."""
+    """Retrying, timeout-guarded, degradation-hardened facade over a
+    :class:`CloudAPI`."""
 
     def __init__(
         self,
@@ -51,12 +176,25 @@ class ConsistentApiClient:
         max_retries: int = 4,
         base_backoff: float = 0.2,
         call_timeout: float | None = None,
+        seed: int = 0,
+        jitter: bool = False,
+        max_backoff: float = 30.0,
+        retry_budget: RetryBudget | None = None,
+        breaker_threshold: int | None = None,
+        breaker_cooldown: float = 45.0,
     ) -> None:
         self.engine = engine
         self.api = api
         self.latency = latency or aws_api_latency()
         self.max_retries = max_retries
         self.base_backoff = base_backoff
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self.retry_budget = retry_budget
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown = breaker_cooldown
+        self._breakers: dict[str, CircuitBreaker] = {}
         if call_timeout is None:
             # The paper calibrates timeouts at the 95th percentile of
             # measured latencies; fall back to 10x mean if the model has
@@ -69,49 +207,136 @@ class ConsistentApiClient:
         self.call_timeout = call_timeout
         self.calls_made = 0
         self.retries_made = 0
+        #: Deadline expiries only — retry exhaustion is counted separately
+        #: in ``retry_exhaustions`` so each metric means what it says.
         self.timeouts = 0
+        self.retry_exhaustions = 0
+        self.budget_denials = 0
+        self.breaker_fast_fails = 0
+        self.blackholes = 0
+
+    # -- health accounting -------------------------------------------------------
+
+    def _breaker(self, method: str) -> CircuitBreaker | None:
+        if self.breaker_threshold is None:
+            return None
+        if method not in self._breakers:
+            self._breakers[method] = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown)
+        return self._breakers[method]
+
+    @property
+    def breaker_trips(self) -> int:
+        return sum(b.trips for b in self._breakers.values())
+
+    def counters(self) -> dict[str, int]:
+        """API-health counters, exported into run outcomes and reports."""
+        return {
+            "calls": self.calls_made,
+            "retries": self.retries_made,
+            "timeouts": self.timeouts,
+            "retry_exhaustions": self.retry_exhaustions,
+            "budget_denials": self.budget_denials,
+            "breaker_trips": self.breaker_trips,
+            "breaker_fast_fails": self.breaker_fast_fails,
+            "blackholes": self.blackholes,
+        }
 
     # -- generators -------------------------------------------------------------
 
-    def call(self, method: str, *args, **kwargs) -> _t.Generator:
+    def call(self, method: str, *args, deadline: float | None = None, **kwargs) -> _t.Generator:
         """One logical call with exponential retry on retryable errors.
 
         Non-retryable CloudErrors (not-found, validation, limit) propagate
         immediately — they are *answers*, not infrastructure noise.
-        Returns the API result; raises :class:`ConsistentCallError` on
-        deadline expiry.
+        ``deadline`` (absolute simulation time) caps the call in addition
+        to ``call_timeout``; ``call_until`` uses it to propagate its own
+        deadline into every inner call.  Returns the API result; raises
+        :class:`ConsistentCallError` on deadline expiry, retry exhaustion,
+        budget exhaustion or an open circuit breaker.
         """
-        deadline = self.engine.now + self.call_timeout
+        call_deadline = self.engine.now + self.call_timeout
+        if deadline is not None:
+            call_deadline = min(call_deadline, deadline)
+        breaker = self._breaker(method)
+        if breaker is not None and not breaker.allow(self.engine.now):
+            self.breaker_fast_fails += 1
+            raise ConsistentCallError(
+                f"{method} failing fast: circuit breaker open",
+                timed_out=False,
+                degraded=breaker.chaos_tainted,
+                breaker_open=True,
+            )
         attempt = 0
         last_error: Exception | None = None
+        chaos_seen = False
         while True:
-            remaining = deadline - self.engine.now
+            remaining = call_deadline - self.engine.now
             if remaining <= 0:
                 self.timeouts += 1
                 raise ConsistentCallError(
                     f"{method} timed out after {self.call_timeout:.2f}s",
                     timed_out=True,
                     last_error=last_error,
+                    degraded=chaos_seen,
                 )
             yield self.engine.timeout(min(self.latency.sample(), remaining))
             self.calls_made += 1
             try:
-                return getattr(self.api, method)(*args, **kwargs)
+                result = getattr(self.api, method)(*args, **kwargs)
+            except BlackholedCall:
+                # The plane will never answer: burn the rest of the
+                # deadline (the hang), then surface a degraded timeout.
+                self.blackholes += 1
+                if breaker is not None:
+                    breaker.record_failure(self.engine.now, chaos=True)
+                remaining = max(0.0, call_deadline - self.engine.now)
+                if remaining > 0:
+                    yield self.engine.timeout(remaining)
+                self.timeouts += 1
+                raise ConsistentCallError(
+                    f"{method} blackholed; no response within {self.call_timeout:.2f}s",
+                    timed_out=True,
+                    degraded=True,
+                )
             except CloudError as exc:
                 if not exc.retryable:
                     raise
+                chaos = bool(getattr(exc, "chaos", False))
+                chaos_seen = chaos_seen or chaos
+                if breaker is not None:
+                    breaker.record_failure(self.engine.now, chaos=chaos)
                 last_error = exc
                 attempt += 1
                 if attempt > self.max_retries:
-                    self.timeouts += 1
+                    self.retry_exhaustions += 1
                     raise ConsistentCallError(
                         f"{method} still failing after {self.max_retries} retries: {exc}",
                         timed_out=False,
                         last_error=exc,
+                        degraded=chaos_seen,
+                    )
+                if self.retry_budget is not None and not self.retry_budget.try_spend(
+                    self.engine.now
+                ):
+                    self.budget_denials += 1
+                    raise ConsistentCallError(
+                        f"{method} retry budget exhausted: {exc}",
+                        timed_out=False,
+                        last_error=exc,
+                        degraded=chaos_seen,
                     )
                 self.retries_made += 1
-                backoff = self.base_backoff * (2 ** (attempt - 1))
-                yield self.engine.timeout(min(backoff, max(remaining, 0.0)))
+                backoff = min(self.base_backoff * (2 ** (attempt - 1)), self.max_backoff)
+                if self.jitter:
+                    # Full jitter (AWS architecture blog): uniform in
+                    # [0, backoff] decorrelates the retry herd.
+                    backoff = self._rng.uniform(0.0, backoff)
+                remaining = max(0.0, call_deadline - self.engine.now)
+                yield self.engine.timeout(min(backoff, remaining))
+            else:
+                if breaker is not None:
+                    breaker.record_success()
+                return result
 
     def call_until(
         self,
@@ -124,8 +349,12 @@ class ConsistentApiClient:
         """Retry a read until ``predicate(result)`` holds.
 
         Absorbs eventual consistency: stale reads fail the predicate and
-        are retried with exponential backoff until the deadline.  Returns
-        the first satisfying result; raises :class:`ConsistentCallError`
+        are retried with exponential backoff until the deadline.  Only
+        :class:`ResourceNotFound` is treated as possible staleness — any
+        other non-retryable error is an *answer* and propagates
+        immediately.  The outer deadline is propagated into every inner
+        ``call`` so no retry can outlive it.  Returns the first
+        satisfying result; raises :class:`ConsistentCallError`
         (``timed_out=True``) if consistency never arrives — which the
         evaluation service records as an assertion failure.
         """
@@ -134,12 +363,14 @@ class ConsistentApiClient:
         last_result: _t.Any = None
         while True:
             try:
-                result = yield from self.call(method, *args, **kwargs)
+                result = yield from self.call(method, *args, deadline=deadline, **kwargs)
             except ConsistentCallError:
                 raise
-            except CloudError as exc:
+            except ResourceNotFound as exc:
                 # A not-found can itself be staleness; keep trying until
-                # the deadline, then surface the error.
+                # the deadline, then surface the error.  Other
+                # non-retryable errors (validation, limits, ...) are real
+                # answers and propagate from `call` directly.
                 result = exc
             if not isinstance(result, CloudError) and predicate(result):
                 return result

@@ -22,7 +22,9 @@ from __future__ import annotations
 import typing as _t
 
 from repro.assertions.base import Assertion, AssertionEnvironment
+from repro.assertions.consistent_api import ConsistentCallError
 from repro.assertions.results import AssertionResult
+from repro.cloud.errors import CloudError
 from repro.logsys.record import LogRecord
 from repro.process.context import ProcessContext
 
@@ -111,6 +113,21 @@ class AssertionEvaluationService:
     def _run(self, assertion: Assertion, params: dict, cause: str, context) -> _t.Generator:
         try:
             result = yield from assertion.evaluate(self.env, params)
+        except (CloudError, ConsistentCallError) as exc:
+            # Fire-and-forget engine processes re-raise uncaught
+            # exceptions and would crash the whole run; a degraded API
+            # plane must instead surface as a failed (possibly degraded)
+            # evaluation — "inconclusive, never crashed".
+            result = AssertionResult(
+                assertion_id=assertion.assertion_id,
+                passed=False,
+                message=f"evaluation aborted by API failure: {exc}",
+                time=self.env.engine.now,
+                duration=0.0,
+                params=dict(params),
+                timed_out=bool(getattr(exc, "timed_out", False)),
+                degraded=bool(getattr(exc, "degraded", False) or getattr(exc, "chaos", False)),
+            )
         finally:
             self.in_flight -= 1
         result.cause = cause

@@ -17,6 +17,15 @@ from repro.assertions.results import AssertionResult
 from repro.cloud.errors import CloudError
 
 
+def _degraded(exc: Exception) -> bool:
+    """Was this failure caused by API-plane degradation (chaos)?
+
+    ``ConsistentCallError`` carries an explicit ``degraded`` flag; a raw
+    ``CloudError`` is chaos-injected iff it is tagged ``chaos=True``.
+    """
+    return bool(getattr(exc, "degraded", False) or getattr(exc, "chaos", False))
+
+
 class AsgInstanceCountAssertion(Assertion):
     """High-level: "assert the system has N instances".
 
@@ -103,10 +112,12 @@ class AsgInstanceCountAssertion(Assertion):
                 params,
                 started,
                 timed_out=True,
+                degraded=_degraded(exc),
             )
         except CloudError as exc:
             return self._result(
-                env, False, f"ASG {asg_name} could not be described: {exc}", params, started
+                env, False, f"ASG {asg_name} could not be described: {exc}", params, started,
+                degraded=_degraded(exc),
             )
         members = counted(instances)
         return self._result(
@@ -150,7 +161,8 @@ class InstanceVersionAssertion(Assertion):
             )
         except (CloudError, ConsistentCallError) as exc:
             return self._result(
-                env, False, f"instance {instance_id} not describable: {exc}", params, started
+                env, False, f"instance {instance_id} not describable: {exc}", params, started,
+                timed_out=bool(getattr(exc, "timed_out", False)), degraded=_degraded(exc),
             )
         mismatches: list[str] = []
         observed: dict = {"instance_id": instance_id}
@@ -220,7 +232,8 @@ class AsgConfigAssertion(Assertion):
             )
         except (CloudError, ConsistentCallError) as exc:
             return self._result(
-                env, False, f"ASG {asg_name} configuration not readable: {exc}", params, started
+                env, False, f"ASG {asg_name} configuration not readable: {exc}", params, started,
+                timed_out=bool(getattr(exc, "timed_out", False)), degraded=_degraded(exc),
             )
         fields = [params["field"]] if "field" in params else list(self.FIELD_MAP)
         mismatches = []
@@ -277,7 +290,8 @@ class ElbRegistrationAssertion(Assertion):
             elb = yield from env.client.call("describe_load_balancer", elb_name, consistent=True)
         except (CloudError, ConsistentCallError) as exc:
             return self._result(
-                env, False, f"ELB {elb_name} not describable: {exc}", params, started
+                env, False, f"ELB {elb_name} not describable: {exc}", params, started,
+                timed_out=bool(getattr(exc, "timed_out", False)), degraded=_degraded(exc),
             )
         if elb.get("State") != "active":
             return self._result(
@@ -307,6 +321,7 @@ class ElbRegistrationAssertion(Assertion):
                 params,
                 started,
                 timed_out=True,
+                degraded=_degraded(exc),
             )
         in_service = [h["InstanceId"] for h in health if h["State"] == "InService"]
         return self._result(
@@ -382,6 +397,8 @@ class ResourceExistsAssertion(Assertion):
                 params,
                 started,
                 observed={"identifier": identifier},
+                timed_out=bool(getattr(exc, "timed_out", False)),
+                degraded=_degraded(exc),
             )
         # AMIs and ELBs additionally carry availability state.
         if self.kind == "ami" and described.get("State") != "available":

@@ -32,6 +32,10 @@ class AssertionResult:
     #: ("assertion evaluations are regarded as failed if API calls time
     #: out", §IV).
     timed_out: bool = False
+    #: True when the failure is attributable to API-plane degradation
+    #: (chaos-injected errors/blackholes) rather than resource state —
+    #: such failures are inconclusive, never evidence.
+    degraded: bool = False
 
     @property
     def failed(self) -> bool:

@@ -53,6 +53,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         runs_per_fault=args.runs,
         large_cluster_runs=max(1, args.runs // 5),
         seed=args.seed,
+        chaos_profile=args.chaos,
     )
     campaign = Campaign(config)
 
@@ -83,8 +84,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         print(f"\nreport written to {args.report}")
     if args.json:
         payload = {
-            "config": {"runs_per_fault": args.runs, "seed": args.seed, "workers": args.workers},
+            "config": {
+                "runs_per_fault": args.runs,
+                "seed": args.seed,
+                "workers": args.workers,
+                "chaos_profile": args.chaos,
+            },
             "failed_runs": metrics.failed_runs,
+            "degraded_verdicts": metrics.degraded_verdicts,
+            "api_health": metrics.api_health,
             "precision": metrics.precision,
             "recall": metrics.recall,
             "accuracy_rate": metrics.accuracy_rate,
@@ -104,6 +112,36 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
         print(f"\nmetrics written to {args.json}")
     return 0 if metrics.recall == 1.0 else 1
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    from repro.cloud.chaos import CHAOS_LEVELS
+    from repro.evaluation.sweeps import render_sweep, sweep_chaos
+
+    levels = args.levels.split(",") if args.levels else list(CHAOS_LEVELS)
+    points = sweep_chaos(
+        levels=levels,
+        runs_per_fault=args.runs,
+        seed=args.seed,
+        max_workers=args.workers,
+    )
+    print(render_sweep(points))
+    crashed = sum(p.metrics.failed_runs for p in points)
+    if crashed:
+        print(f"\nWARNING: {crashed} run(s) crashed — the degradation contract is broken",
+              file=sys.stderr)
+    if args.json:
+        payload = {
+            "seed": args.seed,
+            "runs_per_fault": args.runs,
+            "points": [
+                {**p.row(), "api_health": p.metrics.api_health} for p in points
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nsweep written to {args.json}")
+    return 1 if crashed else 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -173,10 +211,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the runs (1 = serial, -1 = all cores);"
              " results are identical at any worker count",
     )
+    from repro.cloud.chaos import CHAOS_LEVELS
+
+    campaign.add_argument(
+        "--chaos", default="none", choices=list(CHAOS_LEVELS),
+        help="API-plane degradation profile applied to every run",
+    )
     campaign.add_argument("--json", help="write metrics JSON to this path")
     campaign.add_argument("--report", help="write a Markdown report to this path")
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=_cmd_campaign)
+
+    chaos_sweep = sub.add_parser(
+        "chaos-sweep",
+        help="run the campaign across API degradation levels (none → severe)",
+    )
+    chaos_sweep.add_argument("--runs", type=int, default=3, help="runs per fault type per level")
+    chaos_sweep.add_argument("--seed", type=int, default=7004)
+    chaos_sweep.add_argument(
+        "--levels", help="comma-separated chaos levels (default: all, none → severe)"
+    )
+    chaos_sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the runs (1 = serial, -1 = all cores)",
+    )
+    chaos_sweep.add_argument("--json", help="write the sweep table JSON to this path")
+    chaos_sweep.set_defaults(func=_cmd_chaos_sweep)
 
     mine = sub.add_parser("mine", help="discover the process model from fresh logs")
     mine.add_argument("--runs", type=int, default=3)

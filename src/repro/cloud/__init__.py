@@ -18,6 +18,16 @@ of those with the same observable behaviours the paper depends on:
 """
 
 from repro.cloud.api import ApiCallRecord, CloudAPI, TimedCloudClient
+from repro.cloud.chaos import (
+    CHAOS_LEVELS,
+    CHAOS_PROFILES,
+    BlackholedCall,
+    ChaosController,
+    ChaosProfile,
+    ErrorStorm,
+    ServiceChaos,
+    get_profile,
+)
 from repro.cloud.cloudtrail import CloudTrail
 from repro.cloud.controller import AsgController, ScalingActivity
 from repro.cloud.provider import SimulatedCloud
@@ -49,6 +59,14 @@ from repro.cloud.state import CloudState
 
 __all__ = [
     "AccountLimits",
+    "BlackholedCall",
+    "CHAOS_LEVELS",
+    "CHAOS_PROFILES",
+    "ChaosController",
+    "ChaosProfile",
+    "ErrorStorm",
+    "ServiceChaos",
+    "get_profile",
     "AsgController",
     "ScalingActivity",
     "SimulatedCloud",

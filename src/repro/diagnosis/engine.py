@@ -21,6 +21,7 @@ import dataclasses
 import itertools
 import typing as _t
 
+from repro.assertions.consistent_api import ConsistentCallError
 from repro.assertions.evaluation import AssertionEvaluationService
 from repro.diagnosis.cache import DiagnosisCache
 from repro.diagnosis.report import (
@@ -325,6 +326,7 @@ class DiagnosisEngine:
                     verdict=cached[0],
                     evidence=cached[1],
                     cached=True,
+                    degraded=cached[2] if len(cached) > 2 else False,
                 )
             )
             return cached[0]
@@ -335,6 +337,7 @@ class DiagnosisEngine:
             k for k, v in params.items() if isinstance(v, str) and v.startswith("$")
         ]
         started = self.engine.now
+        degraded = False
         if unresolved:
             verdict, evidence = INCONCLUSIVE, {"unresolved": unresolved}
         elif test.kind == "assertion":
@@ -344,9 +347,16 @@ class DiagnosisEngine:
                 result = yield from self.assertions.evaluate_on_demand(test.name, params)
             except KeyError:
                 verdict, evidence = INCONCLUSIVE, {"reason": f"unknown assertion {test.name}"}
+            except ConsistentCallError as exc:
+                # Degraded API plane during an on-demand check: the
+                # verdict is inconclusive, never a crashed diagnosis.
+                verdict, evidence = INCONCLUSIVE, {"reason": f"API failure: {exc}"}
+                degraded = exc.degraded
             else:
-                if result.timed_out:
-                    verdict, evidence = INCONCLUSIVE, {"reason": "assertion timed out"}
+                if result.timed_out or result.degraded:
+                    degraded = result.degraded
+                    reason = "degraded API plane" if result.degraded else "assertion timed out"
+                    verdict, evidence = INCONCLUSIVE, {"reason": reason}
                 else:
                     failed_means_fault = test.confirm_on == "fail"
                     present = result.failed if failed_means_fault else result.passed
@@ -355,7 +365,16 @@ class DiagnosisEngine:
         else:
             yield self.engine.timeout(self._test_overhead.sample())
             self._log(request, f"Verifying {node.node_id}: probe {test.name}")
-            verdict, evidence = yield from self.probes.run(test.name, self.assertions.env, params)
+            try:
+                verdict, evidence = yield from self.probes.run(
+                    test.name, self.assertions.env, params
+                )
+            except ConsistentCallError as exc:
+                verdict, evidence = INCONCLUSIVE, {"reason": f"API failure: {exc}"}
+                degraded = exc.degraded
+            else:
+                if evidence.get("degraded"):
+                    degraded = True
         execution = TestExecution(
             node_id=node.node_id,
             test_kind=test.kind,
@@ -363,9 +382,10 @@ class DiagnosisEngine:
             verdict=verdict,
             evidence=evidence,
             duration=self.engine.now - started,
+            degraded=degraded,
         )
         report.tests.append(execution)
-        cache.put(key, (verdict, evidence))
+        cache.put(key, (verdict, evidence, degraded))
         return verdict
 
     # -- logging -------------------------------------------------------------------

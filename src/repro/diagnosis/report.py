@@ -23,6 +23,9 @@ class TestExecution:
     evidence: dict = dataclasses.field(default_factory=dict)
     cached: bool = False
     duration: float = 0.0
+    #: True when the verdict was forced to inconclusive by API-plane
+    #: degradation (chaos) rather than decided on evidence.
+    degraded: bool = False
 
 
 @dataclasses.dataclass
@@ -67,6 +70,15 @@ class DiagnosisReport:
     @property
     def no_root_cause(self) -> bool:
         return not self.root_causes
+
+    @property
+    def degraded_test_count(self) -> int:
+        """How many verdicts were lost to API-plane degradation."""
+        return sum(1 for t in self.tests if t.degraded)
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_test_count > 0
 
     def confirmed_causes(self) -> list[RootCause]:
         return [c for c in self.root_causes if c.status == "confirmed"]

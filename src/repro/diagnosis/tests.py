@@ -62,6 +62,14 @@ def _since(params: dict) -> float:
         return 0.0
 
 
+def _api_failure(exc: Exception) -> dict:
+    """Evidence for an API-failure inconclusive; flags chaos degradation."""
+    evidence: dict = {"error": str(exc)}
+    if getattr(exc, "degraded", False) or getattr(exc, "chaos", False):
+        evidence["degraded"] = True
+    return evidence
+
+
 def probe_scaling_activities_failing(env, params: dict) -> _t.Generator:
     """Are the ASG's launch attempts failing since the operation began?"""
     asg_name = params.get("asg_name")
@@ -72,7 +80,7 @@ def probe_scaling_activities_failing(env, params: dict) -> _t.Generator:
             "describe_scaling_activities", asg_name, since=_since(params)
         )
     except (CloudError, ConsistentCallError) as exc:
-        return INCONCLUSIVE, {"error": str(exc)}
+        return INCONCLUSIVE, _api_failure(exc)
     failed = [a for a in activities if a.status == "Failed"]
     if failed:
         codes = sorted({a.error_code for a in failed if a.error_code})
@@ -90,7 +98,7 @@ def probe_limit_exceeded_activity(env, params: dict) -> _t.Generator:
             "describe_scaling_activities", asg_name, since=_since(params)
         )
     except (CloudError, ConsistentCallError) as exc:
-        return INCONCLUSIVE, {"error": str(exc)}
+        return INCONCLUSIVE, _api_failure(exc)
     hits = [a for a in activities if a.error_code == "InstanceLimitExceeded"]
     if hits:
         return CONFIRMED, {"occurrences": len(hits)}
@@ -107,7 +115,7 @@ def probe_scale_in_occurred(env, params: dict) -> _t.Generator:
             "describe_scaling_activities", asg_name, since=_since(params)
         )
     except (CloudError, ConsistentCallError) as exc:
-        return INCONCLUSIVE, {"error": str(exc)}
+        return INCONCLUSIVE, _api_failure(exc)
     scale_ins = [
         a for a in activities if a.activity == "Terminate" and "scale-in" in a.description
     ]
@@ -147,7 +155,7 @@ def probe_external_termination(env, params: dict) -> _t.Generator:
             "describe_scaling_activities", asg_name, since=since
         )
     except (CloudError, ConsistentCallError) as exc:
-        return INCONCLUSIVE, {"error": str(exc)}
+        return INCONCLUSIVE, _api_failure(exc)
     explained = {a.instance_id for a in activities if a.activity == "Terminate"}
     # Terminations driven by the operation itself arrive via the plain API,
     # which CloudTrail would attribute — the monitor equivalent is the
@@ -248,7 +256,7 @@ def probe_desired_capacity_mismatch(env, params: dict) -> _t.Generator:
     try:
         asg = yield from env.client.call("describe_auto_scaling_group", asg_name, consistent=True)
     except (CloudError, ConsistentCallError) as exc:
-        return INCONCLUSIVE, {"error": str(exc)}
+        return INCONCLUSIVE, _api_failure(exc)
     actual = asg["DesiredCapacity"]
     if int(actual) != int(expected):
         return CONFIRMED, {"expected": int(expected), "actual": int(actual)}
@@ -263,7 +271,7 @@ def probe_instances_out_of_service(env, params: dict) -> _t.Generator:
     try:
         health = yield from env.client.call("describe_instance_health", elb_name)
     except (CloudError, ConsistentCallError) as exc:
-        return INCONCLUSIVE, {"error": str(exc)}
+        return INCONCLUSIVE, _api_failure(exc)
     out = [h["InstanceId"] for h in health if h["State"] != "InService"]
     if out:
         return CONFIRMED, {"out_of_service": out}

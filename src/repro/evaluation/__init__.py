@@ -25,6 +25,14 @@ from repro.evaluation.figures import (
     render_fig7,
     render_headline,
 )
+from repro.evaluation.sweeps import (
+    SweepPoint,
+    render_sweep,
+    sweep_chaos,
+    sweep_cluster_size,
+    sweep_interference,
+    sweep_transient_rate,
+)
 
 __all__ = [
     "Campaign",
@@ -43,5 +51,11 @@ __all__ = [
     "render_fig6",
     "render_fig7",
     "render_headline",
+    "render_sweep",
     "run_single",
+    "SweepPoint",
+    "sweep_chaos",
+    "sweep_cluster_size",
+    "sweep_interference",
+    "sweep_transient_rate",
 ]

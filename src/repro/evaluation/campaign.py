@@ -37,6 +37,8 @@ class RunSpec:
     transient: bool = False
     interference: InterferencePlan = dataclasses.field(default_factory=InterferencePlan)
     horizon: float = 5400.0
+    #: API-plane degradation level (see :mod:`repro.cloud.chaos`).
+    chaos_profile: str = "none"
 
 
 @dataclasses.dataclass
@@ -49,6 +51,8 @@ class ReportSummary:
     causes: list[tuple[str, str]]  # (node_id, status)
     no_root_cause: bool
     test_count: int
+    #: Verdicts forced to inconclusive by API-plane degradation.
+    degraded_tests: int = 0
 
     @property
     def primary_cause(self) -> str | None:
@@ -87,6 +91,11 @@ class RunOutcome:
     #: campaign reports such runs as structured failures instead of dying,
     #: and metrics exclude them rather than miscounting.
     error: str | None = None
+    #: Consistent-API client + chaos-controller counters for the run —
+    #: the "API health" axis the chaos sweep correlates against.
+    api_health: dict = dataclasses.field(default_factory=dict)
+    #: Diagnostic-test verdicts lost to API-plane degradation.
+    degraded_verdicts: int = 0
 
     @property
     def failed(self) -> bool:
@@ -228,12 +237,17 @@ class CampaignConfig:
     max_instances: int = 40
     #: Restrict the campaign to a subset of fault types (None = all 8).
     fault_types: tuple[str, ...] | None = None
+    #: API-plane degradation applied to every run (a chaos level name).
+    chaos_profile: str = "none"
 
     def __post_init__(self) -> None:
         if self.fault_types is not None:
             unknown = set(self.fault_types) - set(FAULT_TYPES)
             if unknown:
                 raise ValueError(f"unknown fault types: {sorted(unknown)}")
+        from repro.cloud.chaos import get_profile
+
+        get_profile(self.chaos_profile)  # validate the name early
 
 
 _FAULT_ERROR_CODES = {
@@ -293,6 +307,7 @@ def run_single(spec: RunSpec) -> RunOutcome:
         cluster_size=spec.cluster_size,
         seed=spec.seed,
         max_instances=40 if spec.cluster_size <= 4 else 64,
+        chaos=spec.chaos_profile,
     )
     interference = InterferenceScheduler(
         testbed.engine, testbed.cloud, testbed.stack.asg_name, seed=spec.seed
@@ -342,9 +357,12 @@ def run_single(spec: RunSpec) -> RunOutcome:
             causes=[(c.node_id, c.status) for c in r.root_causes],
             no_root_cause=r.no_root_cause,
             test_count=len(r.tests),
+            degraded_tests=r.degraded_test_count,
         )
         for r in testbed.pod.reports
     ]
+    api_health = dict(testbed.pod.env.client.counters())
+    api_health.update({f"chaos_{k}": v for k, v in testbed.chaos.counters.items()})
     first = detections[0] if detections else None
     first_assertion = next((d for d in detections if d["kind"] == "assertion"), None)
     first_conformance = next((d for d in detections if d["kind"] == "conformance"), None)
@@ -367,6 +385,8 @@ def run_single(spec: RunSpec) -> RunOutcome:
         first_detection_at=first["time"] if first else None,
         first_detection_kind=first["kind"] if first else None,
         conformance_before_assertion=conformance_first,
+        api_health=api_health,
+        degraded_verdicts=sum(r.degraded_tests for r in reports),
     )
 
 
@@ -415,6 +435,7 @@ class Campaign:
                         inject_at=inject_at,
                         transient=transient,
                         interference=plan,
+                        chaos_profile=config.chaos_profile,
                     )
                 )
         return specs

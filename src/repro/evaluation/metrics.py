@@ -72,6 +72,10 @@ class CampaignMetrics:
     #: Runs that crashed (structured failures): excluded from every rate
     #: above rather than silently miscounted as misses or FPs.
     failed_runs: int = 0
+    #: Diagnostic-test verdicts lost to API-plane degradation (chaos).
+    degraded_verdicts: int = 0
+    #: Summed consistent-API + chaos counters across runs (API health).
+    api_health: dict = dataclasses.field(default_factory=dict)
 
     @property
     def tp(self) -> int:
@@ -134,11 +138,16 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
     total_correct = 0
     total_fp = 0
     failed_runs = 0
+    degraded_verdicts = 0
+    api_health: dict = {}
 
     for outcome in outcomes:
         if outcome.failed:
             failed_runs += 1
             continue
+        degraded_verdicts += getattr(outcome, "degraded_verdicts", 0)
+        for key, value in getattr(outcome, "api_health", {}).items():
+            api_health[key] = api_health.get(key, 0) + value
         ft = outcome.spec.fault_type
         bucket = per_fault.setdefault(ft, FaultTypeMetrics(fault_type=ft))
         bucket.runs += 1
@@ -198,4 +207,6 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
         conformance_first_runs=conformance_first,
         conformance_eligible_runs=conformance_eligible,
         failed_runs=failed_runs,
+        degraded_verdicts=degraded_verdicts,
+        api_health=api_health,
     )

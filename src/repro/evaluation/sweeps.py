@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.cloud.chaos import CHAOS_LEVELS
 from repro.evaluation.campaign import Campaign, CampaignConfig
 from repro.evaluation.metrics import CampaignMetrics, compute_metrics
 
@@ -40,6 +41,8 @@ class SweepPoint:
             "false_positives": self.metrics.false_positives,
             "interference_detected": self.metrics.interference_detected,
             "diag_mean_s": round(stats["mean"], 2),
+            "degraded_verdicts": self.metrics.degraded_verdicts,
+            "crashed_runs": self.metrics.failed_runs,
         }
 
 
@@ -120,13 +123,39 @@ def sweep_transient_rate(
     return points
 
 
+def sweep_chaos(
+    levels: _t.Sequence[str] = CHAOS_LEVELS,
+    runs_per_fault: int = 3,
+    seed: int = 7004,
+    max_workers: int | None = None,
+) -> list[SweepPoint]:
+    """Diagnosis quality vs API-plane health (none → severe chaos).
+
+    Every point runs the same seeded campaign under a different chaos
+    profile, so precision/recall/diagnosis-time can be read against the
+    API-health counters (retries, timeouts, breaker trips) the chaotic
+    plane produced.  The degradation contract under test: quality may
+    drop to *inconclusive* — crashed runs mean the contract is broken.
+    """
+    points = []
+    for level in levels:
+        config = CampaignConfig(
+            runs_per_fault=runs_per_fault,
+            large_cluster_runs=0,
+            seed=seed,
+            chaos_profile=level,
+        )
+        points.append(SweepPoint("chaos_profile", level, _run_campaign(config, max_workers)))
+    return points
+
+
 def render_sweep(points: _t.Sequence[SweepPoint]) -> str:
     """Fixed-width table of sweep results."""
     if not points:
         return "(empty sweep)"
     header = (
         f"  {'value':>8} {'precision':>9} {'recall':>7} {'accuracy':>9}"
-        f" {'FPs':>4} {'interf.':>7} {'diag(s)':>8}"
+        f" {'FPs':>4} {'interf.':>7} {'diag(s)':>8} {'degraded':>8} {'crashed':>7}"
     )
     lines = [f"Sweep over {points[0].parameter}:", header]
     for point in points:
@@ -135,5 +164,6 @@ def render_sweep(points: _t.Sequence[SweepPoint]) -> str:
             f"  {str(row['value']):>8} {row['precision']:>8.1%} {row['recall']:>6.1%}"
             f" {row['accuracy']:>8.1%} {row['false_positives']:>4d}"
             f" {row['interference_detected']:>7d} {row['diag_mean_s']:>8.2f}"
+            f" {row['degraded_verdicts']:>8d} {row['crashed_runs']:>7d}"
         )
     return "\n".join(lines)

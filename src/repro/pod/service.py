@@ -12,7 +12,7 @@ import dataclasses
 import typing as _t
 
 from repro.assertions.base import AssertionEnvironment
-from repro.assertions.consistent_api import ConsistentApiClient
+from repro.assertions.consistent_api import ConsistentApiClient, RetryBudget
 from repro.assertions.evaluation import AssertionEvaluationService
 from repro.assertions.library import standard_rolling_upgrade_assertions
 from repro.diagnosis.engine import DiagnosisEngine
@@ -59,9 +59,13 @@ class PODDiagnosis:
         principal: str = "pod-diagnosis",
         seed: int = 0,
         profile=None,
+        chaos=None,
     ) -> None:
         self.cloud = cloud
         self.config = config
+        #: Optional :class:`~repro.cloud.chaos.ChaosController` degrading
+        #: the API plane this service observes through.
+        self.chaos = chaos
         engine = cloud.engine
         self.engine = engine
         self.storage = CentralLogStorage()
@@ -77,9 +81,27 @@ class PODDiagnosis:
         # service instance so independent runs draw independent timings.
         from repro.sim.latency import aws_api_latency
 
-        client = ConsistentApiClient(
-            engine, cloud.api(principal), latency=aws_api_latency(seed=seed + 101)
-        )
+        api = cloud.api(principal)
+        latency = aws_api_latency(seed=seed + 101)
+        if chaos is not None and chaos.enabled:
+            # Degrade the plane POD observes through, and enable the full
+            # hardening stack (jitter, retry budget, circuit breaker) —
+            # keeping the legacy client untouched when chaos is off so
+            # existing seeded runs stay bit-for-bit identical.
+            api = chaos.wrap(api)
+            latency = chaos.wrap_latency(latency)
+            client = ConsistentApiClient(
+                engine,
+                api,
+                latency=latency,
+                seed=seed + 103,
+                jitter=True,
+                retry_budget=RetryBudget(capacity=32.0, refill_rate=0.75),
+                breaker_threshold=6,
+                breaker_cooldown=45.0,
+            )
+        else:
+            client = ConsistentApiClient(engine, api, latency=latency)
         self.env = AssertionEnvironment(
             engine=engine,
             client=client,

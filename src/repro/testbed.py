@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.cloud.chaos import ChaosController, get_profile
 from repro.cloud.provider import SimulatedCloud
 from repro.cloud.limits import AccountLimits
 from repro.logsys.record import LogStream
@@ -55,16 +56,22 @@ class Testbed:
         batch_size: int | None = None,
         watchdog_interval: float | None = None,
         mean_consistency_lag: float = 2.5,
+        chaos=None,
     ) -> None:
         self.cluster_size = cluster_size
         self.seed = seed
         self.batch_size = batch_size or BATCH_SIZE_BY_CLUSTER.get(cluster_size, 1)
+        # API-plane chaos (profile name, ChaosProfile, or None).  A chaotic
+        # control plane also widens the eventual-consistency window.
+        chaos_profile = get_profile(chaos)
+        self.chaos_profile = chaos_profile
         self.cloud = SimulatedCloud(
             seed=seed,
             limits=AccountLimits(max_instances=max_instances),
-            mean_consistency_lag=mean_consistency_lag,
+            mean_consistency_lag=mean_consistency_lag * chaos_profile.consistency_lag_multiplier,
         )
         self.engine = self.cloud.engine
+        self.chaos = ChaosController(self.engine, chaos_profile, seed=seed + 71)
         self.stack = self._provision()
         self.cloud.start()
         # Let the initial fleet boot before anything else happens.
@@ -90,7 +97,7 @@ class Testbed:
             operation_start=self.engine.now,
             **config_kwargs,
         )
-        self.pod = PODDiagnosis(self.cloud, self.pod_config, seed=seed)
+        self.pod = PODDiagnosis(self.cloud, self.pod_config, seed=seed, chaos=self.chaos)
         self.stream = LogStream("asgard.log")
         self.upgrade: RollingUpgradeOperation | None = None
 

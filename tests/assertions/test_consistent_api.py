@@ -2,8 +2,14 @@
 
 import pytest
 
-from repro.assertions.consistent_api import ConsistentApiClient, ConsistentCallError
-from repro.cloud.errors import ResourceNotFound, ServiceUnavailable, Throttling
+from repro.assertions.consistent_api import (
+    CircuitBreaker,
+    ConsistentApiClient,
+    ConsistentCallError,
+    RetryBudget,
+)
+from repro.cloud.chaos import BlackholedCall
+from repro.cloud.errors import MalformedRequest, ResourceNotFound, ServiceUnavailable, Throttling
 from repro.sim.latency import ConstantLatency
 
 
@@ -124,3 +130,247 @@ class TestCallUntil:
             engine, client.call_until("operation", predicate=lambda v: v == "found", timeout=30)
         )
         assert result == "found"
+
+    def test_other_non_retryable_errors_propagate_immediately(self, engine):
+        """Only a not-found can be staleness; a validation error is an
+        answer and must not be retried until the deadline."""
+        api = FlakyApi(errors=[MalformedRequest("bad request")] * 50)
+        client = client_for(engine, api)
+        with pytest.raises(MalformedRequest):
+            drive(engine, client.call_until("operation", predicate=lambda v: True, timeout=60))
+        assert api.calls == 1
+
+    def test_backoff_landing_exactly_on_deadline_times_out(self, engine):
+        """A poll whose next backoff lands exactly on the deadline must
+        time out rather than squeeze in one more call."""
+        api = FlakyApi(result="nope")
+        client = client_for(
+            engine, api, latency=ConstantLatency(0.0), base_backoff=0.2, call_timeout=100.0
+        )
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call_until("operation", predicate=lambda v: False, timeout=0.2))
+        assert excinfo.value.timed_out
+        assert api.calls == 1
+        # A predicate timeout is a state answer, not an API-plane failure.
+        assert not excinfo.value.degraded
+
+    def test_outer_deadline_propagates_into_inner_calls(self, engine):
+        """Inner retries must never outlive the outer call_until deadline,
+        even when the client's own call_timeout/backoff are much larger."""
+        api = FlakyApi(errors=[Throttling("x")] * 1000)
+        client = client_for(
+            engine, api, max_retries=1000, call_timeout=1000.0, base_backoff=10.0
+        )
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call_until("operation", predicate=lambda v: True, timeout=5.0))
+        assert excinfo.value.timed_out
+        assert engine.now == pytest.approx(5.0, abs=0.2)
+
+
+class TestCounterSplit:
+    def test_retry_exhaustion_is_not_a_timeout(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 50)
+        client = client_for(engine, api, max_retries=2, call_timeout=1000)
+        with pytest.raises(ConsistentCallError):
+            drive(engine, client.call("operation"))
+        assert client.retry_exhaustions == 1
+        assert client.timeouts == 0
+
+    def test_deadline_expiry_is_not_an_exhaustion(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 50)
+        client = client_for(engine, api, max_retries=100, call_timeout=0.5, base_backoff=0.3)
+        with pytest.raises(ConsistentCallError):
+            drive(engine, client.call("operation"))
+        assert client.timeouts == 1
+        assert client.retry_exhaustions == 0
+
+    def test_counters_export(self, engine):
+        client = client_for(engine, FlakyApi())
+        drive(engine, client.call("operation"))
+        counters = client.counters()
+        assert counters["calls"] == 1
+        assert set(counters) == {
+            "calls", "retries", "timeouts", "retry_exhaustions",
+            "budget_denials", "breaker_trips", "breaker_fast_fails", "blackholes",
+        }
+
+
+class TestJitter:
+    def test_disabled_by_default_for_exact_legacy_backoff(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 3)
+        client = client_for(engine, api, base_backoff=0.2)
+        drive(engine, client.call("operation"))
+        assert engine.now == pytest.approx(0.05 * 4 + 1.4)
+
+    def test_full_jitter_shortens_or_equals_backoff(self):
+        from repro.sim.engine import Engine
+
+        def elapsed(jitter, seed=9):
+            engine = Engine()
+            api = FlakyApi(errors=[Throttling("x")] * 3)
+            client = client_for(engine, api, base_backoff=0.2, jitter=jitter, seed=seed)
+            drive(engine, client.call("operation"))
+            return engine.now
+
+        plain = elapsed(False)
+        jittered = elapsed(True)
+        assert jittered <= plain
+        # Deterministic per seed.
+        assert jittered == elapsed(True)
+
+    def test_max_backoff_caps_growth(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 6)
+        client = client_for(
+            engine, api, base_backoff=1.0, max_backoff=2.0, max_retries=10, call_timeout=1000
+        )
+        drive(engine, client.call("operation"))
+        # Backoffs: 1, 2, 2, 2, 2, 2 (capped) + 7 calls x 0.05.
+        assert engine.now == pytest.approx(7 * 0.05 + 11.0)
+
+
+class TestRetryBudget:
+    def test_token_bucket_refills(self):
+        budget = RetryBudget(capacity=2.0, refill_rate=1.0)
+        assert budget.try_spend(0.0)
+        assert budget.try_spend(0.0)
+        assert not budget.try_spend(0.0)
+        assert budget.try_spend(1.0)  # one token refilled after 1s
+
+    def test_exhausted_budget_fails_fast(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 50)
+        client = client_for(
+            engine, api, max_retries=10, call_timeout=1000,
+            retry_budget=RetryBudget(capacity=2.0, refill_rate=0.0),
+        )
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call("operation"))
+        assert client.budget_denials == 1
+        assert api.calls == 3  # initial + 2 budgeted retries
+        assert not excinfo.value.timed_out
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryBudget(capacity=0.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10.0)
+        assert breaker.record_failure(0.0) is False
+        assert breaker.record_failure(1.0) is False
+        assert breaker.record_failure(2.0) is True
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(5.0)
+
+    def test_half_open_probe_after_cooldown(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(9.9)
+        assert breaker.allow(10.0)  # the half-open probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(10.0)
+        assert breaker.record_failure(10.5) is True
+        assert breaker.trips == 2
+        assert not breaker.allow(15.0)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=10.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        assert breaker.record_failure(1.0) is False
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_client_fast_fails_when_open(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 50)
+        client = client_for(
+            engine, api, max_retries=0, call_timeout=1000,
+            breaker_threshold=2, breaker_cooldown=60.0,
+        )
+        for _ in range(2):
+            with pytest.raises(ConsistentCallError):
+                drive(engine, client.call("operation"))
+        calls_before = api.calls
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call("operation"))
+        assert excinfo.value.breaker_open
+        assert api.calls == calls_before  # no API call reached the plane
+        assert client.breaker_trips == 1
+        assert client.breaker_fast_fails == 1
+
+    def test_half_open_probe_recovers_through_client(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 2)
+        client = client_for(
+            engine, api, max_retries=0, call_timeout=1000,
+            breaker_threshold=2, breaker_cooldown=5.0,
+        )
+        for _ in range(2):
+            with pytest.raises(ConsistentCallError):
+                drive(engine, client.call("operation"))
+
+        def sleep():
+            yield engine.timeout(6.0)
+
+        drive(engine, sleep())
+        assert drive(engine, client.call("operation")) == "ok"  # probe succeeds
+        assert drive(engine, client.call("operation")) == "ok"  # breaker closed
+
+    def test_breakers_are_per_method(self, engine):
+        class TwoOps:
+            def __init__(self):
+                self.good_calls = 0
+
+            def bad(self):
+                raise Throttling("x")
+
+            def good(self):
+                self.good_calls += 1
+                return "ok"
+
+        api = TwoOps()
+        client = client_for(
+            engine, api, max_retries=0, call_timeout=1000,
+            breaker_threshold=1, breaker_cooldown=60.0,
+        )
+        with pytest.raises(ConsistentCallError):
+            drive(engine, client.call("bad"))
+        assert drive(engine, client.call("good")) == "ok"
+
+
+class TestDegradation:
+    def test_chaos_tagged_errors_mark_failure_degraded(self, engine):
+        errors = []
+        for _ in range(3):
+            error = ServiceUnavailable("chaos burst")
+            error.chaos = True
+            errors.append(error)
+        api = FlakyApi(errors=errors)
+        client = client_for(engine, api, max_retries=2, call_timeout=1000)
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call("operation"))
+        assert excinfo.value.degraded
+
+    def test_genuine_errors_are_not_degraded(self, engine):
+        api = FlakyApi(errors=[Throttling("x")] * 50)
+        client = client_for(engine, api, max_retries=2, call_timeout=1000)
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call("operation"))
+        assert not excinfo.value.degraded
+
+    def test_blackhole_burns_deadline_and_times_out_degraded(self, engine):
+        api = FlakyApi(errors=[BlackholedCall("chaos: void")])
+        client = client_for(engine, api, call_timeout=2.0)
+        with pytest.raises(ConsistentCallError) as excinfo:
+            drive(engine, client.call("operation"))
+        assert excinfo.value.timed_out
+        assert excinfo.value.degraded
+        assert client.blackholes == 1
+        assert client.timeouts == 1
+        # The hang consumed exactly the remaining deadline.
+        assert engine.now == pytest.approx(2.0)
