@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test bench chaos
+.PHONY: check test bench chaos trace
 
 # The fast gate for every push: tier-1 minus the slow full-campaign
 # tests, plus the parallel-campaign determinism regression.
@@ -12,6 +12,11 @@ check:
 # Seeded API-plane chaos regression (severe profile, zero crashed runs).
 chaos:
 	python -m pytest -q -m "chaos and not slow"
+
+# Observability smoke: traced seeded 8-run campaign, JSON export +
+# span tree.  Fails if any pipeline stage stops producing spans.
+trace:
+	python -m repro trace-export --json trace.json --max-spans 40
 
 # The complete tier-1 suite (what the roadmap's verify command runs).
 test:

@@ -1,0 +1,91 @@
+"""Observability overhead: disabled tracing must vanish into noise.
+
+The obs layer's contract is *zero cost when disabled*: every hot path
+resolves ``self._tracer``/``self._metrics`` to ``None`` once at
+construction and pays a single ``is None`` check per record afterwards.
+Two guards:
+
+- a microbenchmark bounding the per-call cost of the disabled
+  instruments themselves (the worst case for code that didn't hoist the
+  check — still sub-microsecond against a ~30 ms run);
+- a campaign-level comparison recording what tracing *enabled* costs,
+  and asserting the disabled path is not slower than the enabled one.
+"""
+
+import time
+
+import pytest
+
+from repro.evaluation.campaign import Campaign, CampaignConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+pytestmark = pytest.mark.slow
+
+#: Generous per-call ceiling for a disabled instrument (observed ~0.1 us;
+#: a simulated run takes ~30 ms, so even 1000 records stay within noise).
+DISABLED_CALL_CEILING_US = 3.0
+
+_CAMPAIGN = dict(runs_per_fault=1, large_cluster_runs=0, seed=5005)
+
+
+def test_bench_disabled_instruments_per_call(benchmark):
+    tracer = Tracer(enabled=False)
+    registry = MetricsRegistry(enabled=False)
+    iterations = 200_000
+
+    def loop() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            span = tracer.span("record", "ingest")
+            span.set(step="x")
+            registry.inc("pipeline.records_ingested")
+            registry.observe("assertion.duration", 0.1)
+        return time.perf_counter() - start
+
+    elapsed = benchmark.pedantic(loop, rounds=1, iterations=1)
+    per_call_us = elapsed / (iterations * 4) * 1e6
+    benchmark.extra_info["per_call_us"] = round(per_call_us, 4)
+    print(f"\n  disabled instrument call: {per_call_us:.3f} us"
+          f" (ceiling {DISABLED_CALL_CEILING_US} us)")
+    assert per_call_us < DISABLED_CALL_CEILING_US, (
+        f"disabled obs call costs {per_call_us:.3f} us — the disabled path"
+        " is doing real work"
+    )
+    assert tracer.export() == []
+    assert registry.snapshot()["counters"] == {}
+
+
+def _timed_campaign(trace: bool) -> float:
+    start = time.perf_counter()
+    campaign = Campaign(CampaignConfig(trace=trace, **_CAMPAIGN))
+    campaign.run()
+    assert not any(o.failed for o in campaign.outcomes)
+    return time.perf_counter() - start
+
+
+def test_bench_untraced_vs_traced_campaign(benchmark):
+    # Warm both paths once (imports, first-run caches), then take the
+    # best of three to damp scheduler noise.
+    _timed_campaign(False)
+    _timed_campaign(True)
+    traced_s = min(_timed_campaign(True) for _ in range(3))
+
+    untraced_s = benchmark.pedantic(
+        lambda: min(_timed_campaign(False) for _ in range(3)),
+        rounds=1, iterations=1,
+    )
+
+    overhead = traced_s / untraced_s - 1.0
+    benchmark.extra_info["untraced_s"] = round(untraced_s, 3)
+    benchmark.extra_info["traced_s"] = round(traced_s, 3)
+    benchmark.extra_info["tracing_overhead_pct"] = round(overhead * 100, 1)
+    print(f"\n  8-run campaign: untraced {untraced_s:.2f}s,"
+          f" traced {traced_s:.2f}s ({overhead:+.1%} for tracing)")
+    # The disabled path must never cost more than the enabled one (plus
+    # measurement noise): if it does, the "zero-cost when disabled"
+    # resolution broke somewhere in the pipeline.
+    assert untraced_s <= traced_s * 1.15, (
+        f"untraced campaign ({untraced_s:.2f}s) slower than traced"
+        f" ({traced_s:.2f}s) — disabled obs path is paying real costs"
+    )

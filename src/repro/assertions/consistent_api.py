@@ -182,7 +182,12 @@ class ConsistentApiClient:
         retry_budget: RetryBudget | None = None,
         breaker_threshold: int | None = None,
         breaker_cooldown: float = 45.0,
+        obs=None,
     ) -> None:
+        # Live metric events (retries, breaker trips, blackholes) for the
+        # observability layer; None when disabled so the hot call path
+        # pays a single check.
+        self._metrics = obs.metrics if obs is not None and obs.enabled else None
         self.engine = engine
         self.api = api
         self.latency = latency or aws_api_latency()
@@ -241,6 +246,10 @@ class ConsistentApiClient:
             "blackholes": self.blackholes,
         }
 
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(name)
+
     # -- generators -------------------------------------------------------------
 
     def call(self, method: str, *args, deadline: float | None = None, **kwargs) -> _t.Generator:
@@ -260,6 +269,7 @@ class ConsistentApiClient:
         breaker = self._breaker(method)
         if breaker is not None and not breaker.allow(self.engine.now):
             self.breaker_fast_fails += 1
+            self._count("client.breaker_fast_fails")
             raise ConsistentCallError(
                 f"{method} failing fast: circuit breaker open",
                 timed_out=False,
@@ -273,6 +283,7 @@ class ConsistentApiClient:
             remaining = call_deadline - self.engine.now
             if remaining <= 0:
                 self.timeouts += 1
+                self._count("client.timeouts")
                 raise ConsistentCallError(
                     f"{method} timed out after {self.call_timeout:.2f}s",
                     timed_out=True,
@@ -281,18 +292,21 @@ class ConsistentApiClient:
                 )
             yield self.engine.timeout(min(self.latency.sample(), remaining))
             self.calls_made += 1
+            self._count("client.calls")
             try:
                 result = getattr(self.api, method)(*args, **kwargs)
             except BlackholedCall:
                 # The plane will never answer: burn the rest of the
                 # deadline (the hang), then surface a degraded timeout.
                 self.blackholes += 1
-                if breaker is not None:
-                    breaker.record_failure(self.engine.now, chaos=True)
+                self._count("client.blackholes")
+                if breaker is not None and breaker.record_failure(self.engine.now, chaos=True):
+                    self._count("client.breaker_trips")
                 remaining = max(0.0, call_deadline - self.engine.now)
                 if remaining > 0:
                     yield self.engine.timeout(remaining)
                 self.timeouts += 1
+                self._count("client.timeouts")
                 raise ConsistentCallError(
                     f"{method} blackholed; no response within {self.call_timeout:.2f}s",
                     timed_out=True,
@@ -303,12 +317,14 @@ class ConsistentApiClient:
                     raise
                 chaos = bool(getattr(exc, "chaos", False))
                 chaos_seen = chaos_seen or chaos
-                if breaker is not None:
-                    breaker.record_failure(self.engine.now, chaos=chaos)
+                self._count("client.retryable_errors")
+                if breaker is not None and breaker.record_failure(self.engine.now, chaos=chaos):
+                    self._count("client.breaker_trips")
                 last_error = exc
                 attempt += 1
                 if attempt > self.max_retries:
                     self.retry_exhaustions += 1
+                    self._count("client.retry_exhaustions")
                     raise ConsistentCallError(
                         f"{method} still failing after {self.max_retries} retries: {exc}",
                         timed_out=False,
@@ -319,6 +335,7 @@ class ConsistentApiClient:
                     self.engine.now
                 ):
                     self.budget_denials += 1
+                    self._count("client.budget_denials")
                     raise ConsistentCallError(
                         f"{method} retry budget exhausted: {exc}",
                         timed_out=False,
@@ -326,6 +343,7 @@ class ConsistentApiClient:
                         degraded=chaos_seen,
                     )
                 self.retries_made += 1
+                self._count("client.retries")
                 backoff = min(self.base_backoff * (2 ** (attempt - 1)), self.max_backoff)
                 if self.jitter:
                     # Full jitter (AWS architecture blog): uniform in
@@ -379,6 +397,7 @@ class ConsistentApiClient:
             backoff = self.base_backoff * (2 ** min(attempt - 1, 6))
             if self.engine.now + backoff >= deadline:
                 self.timeouts += 1
+                self._count("client.timeouts")
                 if isinstance(last_result, CloudError):
                     raise ConsistentCallError(
                         f"{method} never satisfied expectation: {last_result}",
@@ -389,4 +408,5 @@ class ConsistentApiClient:
                     f"{method} result never satisfied expectation", timed_out=True
                 )
             self.retries_made += 1
+            self._count("client.consistency_retries")
             yield self.engine.timeout(backoff)

@@ -37,13 +37,19 @@ class AssertionEvaluationService:
         env: AssertionEnvironment,
         storage=None,
         on_failure: _t.Callable[[AssertionResult], None] | None = None,
+        obs=None,
     ) -> None:
+        from repro.obs import NULL_OBS
+
         self.env = env
         self.storage = storage
         self.on_failure = on_failure
         self.assertions: dict[str, Assertion] = {}
         self.results: list[AssertionResult] = []
         self.in_flight = 0
+        obs = obs or NULL_OBS
+        self._tracer = obs.tracer if obs.enabled else None
+        self._metrics = obs.metrics if obs.enabled else None
 
     # -- registry -----------------------------------------------------------
 
@@ -97,6 +103,7 @@ class AssertionEvaluationService:
         result = yield from assertion.evaluate(self.env, params)
         result.cause = "on-demand"
         self.results.append(result)
+        self._record_outcome(result)
         self._log_result(result)
         return result
 
@@ -105,12 +112,23 @@ class AssertionEvaluationService:
     def _spawn(self, assertion_id: str, params: dict, cause: str, context) -> None:
         assertion = self.get(assertion_id)
         self.in_flight += 1
+        # The span opens at the trigger site so it parents under the log
+        # record (or timer) that caused the evaluation; the evaluation
+        # itself runs later, as its own engine process.
+        span = None
+        if self._tracer is not None:
+            span = self._tracer.start_span(
+                "evaluate", "assertion", assertion_id=assertion_id, cause=cause
+            )
+            self._metrics.gauge_max("assertions.in_flight_max", self.in_flight)
         self.env.engine.process(
-            self._run(assertion, params, cause, context),
+            self._run(assertion, params, cause, context, span),
             name=f"assert-{assertion_id}",
         )
 
-    def _run(self, assertion: Assertion, params: dict, cause: str, context) -> _t.Generator:
+    def _run(
+        self, assertion: Assertion, params: dict, cause: str, context, span=None
+    ) -> _t.Generator:
         try:
             result = yield from assertion.evaluate(self.env, params)
         except (CloudError, ConsistentCallError) as exc:
@@ -133,9 +151,29 @@ class AssertionEvaluationService:
         result.cause = cause
         result.context = context
         self.results.append(result)
+        self._record_outcome(result)
         self._log_result(result)
         if result.failed and self.on_failure is not None:
-            self.on_failure(result)
+            if self._tracer is not None and span is not None:
+                # Diagnosis triggered by this failure parents under the
+                # evaluation's span, not wherever the engine happens to be.
+                with self._tracer.activate(span):
+                    self.on_failure(result)
+            else:
+                self.on_failure(result)
+        if self._tracer is not None and span is not None:
+            self._tracer.finish(
+                span, result="failed" if result.failed else "passed", degraded=result.degraded
+            )
+
+    def _record_outcome(self, result: AssertionResult) -> None:
+        if self._metrics is None:
+            return
+        verdict = "failed" if result.failed else "passed"
+        self._metrics.inc(f"assertions.outcomes.{result.cause}.{verdict}")
+        if result.degraded:
+            self._metrics.inc("assertions.degraded")
+        self._metrics.observe("assertion.duration", result.duration)
 
     def _log_result(self, result: AssertionResult) -> None:
         if self.storage is None:

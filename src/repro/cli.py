@@ -1,14 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the day-one workflows of a downstream user:
+The commands cover the day-one workflows of a downstream user:
 
 - ``demo``      — a clean upgrade, then a faulty one, with the diagnosis log;
 - ``campaign``  — the paper's fault-injection campaign at any scale
   (optionally parallel via ``--workers``), with Table I / Fig. 6 /
   Fig. 7 output and optional JSON export;
+- ``chaos-sweep`` — the campaign repeated across API degradation levels;
 - ``mine``      — discover the rolling-upgrade process model from fresh
   logs and print it (optionally as Graphviz DOT);
-- ``trees``     — inventory the standard fault trees (optionally as DOT).
+- ``trees``     — inventory the standard fault trees (optionally as DOT);
+- ``trace-export`` — run a small traced campaign and export the pipeline
+  spans + metrics as JSON, plus a human-readable span tree per run.
 """
 
 from __future__ import annotations
@@ -90,7 +93,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "workers": args.workers,
                 "chaos_profile": args.chaos,
             },
+            "total_runs": metrics.total_runs,
             "failed_runs": metrics.failed_runs,
+            "scored_runs": metrics.scored_runs,
             "degraded_verdicts": metrics.degraded_verdicts,
             "api_health": metrics.api_health,
             "precision": metrics.precision,
@@ -142,6 +147,67 @@ def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2)
         print(f"\nsweep written to {args.json}")
     return 1 if crashed else 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from repro.evaluation.campaign import Campaign, CampaignConfig
+    from repro.evaluation.metrics import compute_metrics
+    from repro.obs.export import render_span_tree, trace_payload
+    from repro.obs.profile import StageProfiler
+
+    profiler = StageProfiler()
+    config = CampaignConfig(
+        runs_per_fault=args.runs,
+        large_cluster_runs=0,
+        seed=args.seed,
+        chaos_profile=args.chaos,
+        trace=True,
+    )
+    campaign = Campaign(config)
+    with profiler.stage("campaign"):
+        campaign.run(max_workers=args.workers)
+    with profiler.stage("aggregate"):
+        metrics = compute_metrics(campaign.outcomes)
+    traced = [o for o in campaign.outcomes if not o.failed and o.trace is not None]
+    if not traced:
+        print("no traced runs survived — every run crashed", file=sys.stderr)
+        return 1
+    payload = {
+        "config": {
+            "runs_per_fault": args.runs,
+            "seed": args.seed,
+            "chaos_profile": args.chaos,
+        },
+        "total_runs": metrics.total_runs,
+        "failed_runs": metrics.failed_runs,
+        "scored_runs": metrics.scored_runs,
+        "pipeline_metrics": metrics.pipeline_metrics,
+        "runs": [trace_payload(o.spec.run_id, o.trace, o.metrics) for o in traced],
+    }
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"trace written to {args.json}")
+    for run in payload["runs"]:
+        stages = ", ".join(f"{k}={v}" for k, v in sorted(run["stages"].items()))
+        print(f"{run['run_id']}: {run['span_count']} spans ({stages})")
+
+    wanted = args.tree
+    if wanted is None:
+        chosen = traced[0]
+    else:
+        chosen = next((o for o in traced if o.spec.run_id == wanted), None)
+        if chosen is None:
+            print(f"unknown run id {wanted!r}; traced runs:"
+                  f" {', '.join(o.spec.run_id for o in traced)}", file=sys.stderr)
+            return 1
+    print()
+    print(render_span_tree(chosen.trace, title=chosen.spec.run_id,
+                           max_spans=args.max_spans))
+    if args.profile:
+        print()
+        print(profiler.render())
+    return 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -237,6 +303,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_sweep.add_argument("--json", help="write the sweep table JSON to this path")
     chaos_sweep.set_defaults(func=_cmd_chaos_sweep)
+
+    trace = sub.add_parser(
+        "trace-export",
+        help="run a traced campaign and export pipeline spans + metrics",
+    )
+    trace.add_argument("--runs", type=int, default=1,
+                       help="runs per fault type (default 1 → 8 traced runs)")
+    trace.add_argument("--seed", type=int, default=2014)
+    trace.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (traces are identical at any worker count)",
+    )
+    trace.add_argument(
+        "--chaos", default="none", choices=list(CHAOS_LEVELS),
+        help="API-plane degradation profile applied to every run",
+    )
+    trace.add_argument("--json", help="write the full trace JSON to this path")
+    trace.add_argument("--tree", metavar="RUN_ID",
+                       help="render this run's span tree (default: first run)")
+    trace.add_argument("--max-spans", type=int, default=80,
+                       help="truncate the rendered tree after this many spans")
+    trace.add_argument("--profile", action="store_true",
+                       help="print wall-clock stage timings (not part of the export)")
+    trace.set_defaults(func=_cmd_trace_export)
 
     mine = sub.add_parser("mine", help="discover the process model from fresh logs")
     mine.add_argument("--runs", type=int, default=3)

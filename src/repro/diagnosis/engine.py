@@ -74,7 +74,13 @@ class DiagnosisEngine:
         enable_pruning: bool = True,
         enable_cache: bool = True,
         step_aliases: dict[str, str] | None = None,
+        obs=None,
     ) -> None:
+        from repro.obs import NULL_OBS
+
+        obs = obs or NULL_OBS
+        self._tracer = obs.tracer if obs.enabled else None
+        self._metrics = obs.metrics if obs.enabled else None
         self.engine = engine
         self.trees = trees
         self.assertions = assertions
@@ -219,9 +225,23 @@ class DiagnosisEngine:
     # -- execution -------------------------------------------------------------------
 
     def _start(self, request: DiagnosisRequest) -> None:
-        self.engine.process(self._run(request), name=request.request_id)
+        span = None
+        if self._tracer is not None:
+            # Opened at the trigger site (inside the assertion/conformance
+            # span that detected the anomaly); the walk itself runs as its
+            # own engine process and closes the span when it completes.
+            span = self._tracer.start_span(
+                "walk",
+                "diagnosis",
+                trigger=request.trigger,
+                trigger_detail=request.trigger_detail,
+                tree_ids=list(request.tree_ids),
+            )
+            self._metrics.inc("diagnosis.requests")
+            self._metrics.inc(f"diagnosis.requests.{request.trigger}")
+        self.engine.process(self._run(request, span), name=request.request_id)
 
-    def _run(self, request: DiagnosisRequest) -> _t.Generator:
+    def _run(self, request: DiagnosisRequest, span=None) -> _t.Generator:
         report = DiagnosisReport(
             request_id=request.request_id,
             trigger=request.trigger,
@@ -252,7 +272,7 @@ class DiagnosisEngine:
             f" {report.potential_fault_count} potential faults in total...",
         )
         for root in roots:
-            causes = yield from self._visit(root, request, report, cache, is_root=True)
+            causes = yield from self._visit(root, request, report, cache, is_root=True, span=span)
             report.root_causes.extend(causes)
         report.finished_at = self.engine.now
         if report.no_root_cause:
@@ -262,6 +282,14 @@ class DiagnosisEngine:
             noun = "root cause is" if count == 1 else "root causes are"
             self._log(request, f"{count} {noun} identified")
         self.completed.append(report)
+        if self._tracer is not None:
+            self._tracer.finish(
+                span,
+                root_causes=len(report.root_causes),
+                no_root_cause=report.no_root_cause,
+                tests=len(report.tests),
+            )
+            self._metrics.observe("diagnosis.walk.duration", report.finished_at - report.started_at)
         for callback in self._done_callbacks:
             callback(report)
         return report
@@ -273,10 +301,11 @@ class DiagnosisEngine:
         report: DiagnosisReport,
         cache: DiagnosisCache,
         is_root: bool = False,
+        span=None,
     ) -> _t.Generator:
         verdict = CONFIRMED if node.test is None else None
         if node.test is not None:
-            verdict = yield from self._run_test(node, node.test, request, report, cache)
+            verdict = yield from self._run_test(node, node.test, request, report, cache, span)
         if verdict == EXCLUDED:
             report.excluded_count += 1
             self._log(
@@ -298,7 +327,7 @@ class DiagnosisEngine:
             return [RootCause(node.node_id, node.description, "confirmed", node.probability)]
         causes: list[RootCause] = []
         for child in node.ordered_children():
-            causes.extend((yield from self._visit(child, request, report, cache)))
+            causes.extend((yield from self._visit(child, request, report, cache, span=span)))
         if not causes and node.test is not None:
             # Evidence of a fault here, but nothing below could be pinned
             # down: the paper's "cannot determine why" terminal.
@@ -312,6 +341,7 @@ class DiagnosisEngine:
         request: DiagnosisRequest,
         report: DiagnosisReport,
         cache: DiagnosisCache,
+        walk_span=None,
     ) -> _t.Generator:
         params = dict(test.params)
         params.setdefault("since", request.since)
@@ -329,6 +359,13 @@ class DiagnosisEngine:
                     degraded=cached[2] if len(cached) > 2 else False,
                 )
             )
+            if self._tracer is not None:
+                hit = self._tracer.start_span(
+                    "test", "diagnosis", parent=walk_span,
+                    node=node.node_id, test=test.name, cached=True,
+                )
+                self._tracer.finish(hit, verdict=cached[0])
+                self._metrics.inc("diagnosis.tests_cached")
             return cached[0]
         # Unresolved variables mean the trigger context was too weak for
         # this test (e.g. purely timer-based detection with no instance
@@ -336,6 +373,12 @@ class DiagnosisEngine:
         unresolved = [
             k for k, v in params.items() if isinstance(v, str) and v.startswith("$")
         ]
+        test_span = None
+        if self._tracer is not None:
+            test_span = self._tracer.start_span(
+                "test", "diagnosis", parent=walk_span,
+                node=node.node_id, test=test.name, kind=test.kind,
+            )
         started = self.engine.now
         degraded = False
         if unresolved:
@@ -386,6 +429,10 @@ class DiagnosisEngine:
         )
         report.tests.append(execution)
         cache.put(key, (verdict, evidence, degraded))
+        if self._tracer is not None:
+            self._tracer.finish(test_span, verdict=verdict, degraded=degraded)
+            self._metrics.inc(f"diagnosis.tests.{verdict}")
+            self._metrics.observe("diagnosis.test.duration", execution.duration)
         return verdict
 
     # -- logging -------------------------------------------------------------------

@@ -39,6 +39,8 @@ class RunSpec:
     horizon: float = 5400.0
     #: API-plane degradation level (see :mod:`repro.cloud.chaos`).
     chaos_profile: str = "none"
+    #: Record pipeline spans + metrics for this run (see :mod:`repro.obs`).
+    trace: bool = False
 
 
 @dataclasses.dataclass
@@ -96,6 +98,12 @@ class RunOutcome:
     api_health: dict = dataclasses.field(default_factory=dict)
     #: Diagnostic-test verdicts lost to API-plane degradation.
     degraded_verdicts: int = 0
+    #: Exported pipeline spans (JSON-ready dicts) when the spec asked for
+    #: tracing; None otherwise.  Spans are keyed to virtual time, so the
+    #: serial ≡ parallel bit-for-bit guarantee covers them too.
+    trace: list | None = None
+    #: Pipeline metrics snapshot (counters/gauges/histograms) when traced.
+    metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def failed(self) -> bool:
@@ -239,6 +247,8 @@ class CampaignConfig:
     fault_types: tuple[str, ...] | None = None
     #: API-plane degradation applied to every run (a chaos level name).
     chaos_profile: str = "none"
+    #: Enable span tracing + pipeline metrics on every run.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.fault_types is not None:
@@ -308,6 +318,7 @@ def run_single(spec: RunSpec) -> RunOutcome:
         seed=spec.seed,
         max_instances=40 if spec.cluster_size <= 4 else 64,
         chaos=spec.chaos_profile,
+        trace=spec.trace,
     )
     interference = InterferenceScheduler(
         testbed.engine, testbed.cloud, testbed.stack.asg_name, seed=spec.seed
@@ -387,6 +398,8 @@ def run_single(spec: RunSpec) -> RunOutcome:
         conformance_before_assertion=conformance_first,
         api_health=api_health,
         degraded_verdicts=sum(r.degraded_tests for r in reports),
+        trace=testbed.obs.export_trace() if spec.trace else None,
+        metrics=testbed.obs.export_metrics() if spec.trace else {},
     )
 
 
@@ -436,6 +449,7 @@ class Campaign:
                         transient=transient,
                         interference=plan,
                         chaos_profile=config.chaos_profile,
+                        trace=config.trace,
                     )
                 )
         return specs

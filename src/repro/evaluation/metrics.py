@@ -18,11 +18,13 @@ Definitions follow the paper exactly:
 from __future__ import annotations
 
 import dataclasses
+import math
 import statistics
 import typing as _t
 
 from repro.evaluation.campaign import RunOutcome
 from repro.evaluation.faults import FAULT_TYPES
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclasses.dataclass
@@ -76,6 +78,15 @@ class CampaignMetrics:
     degraded_verdicts: int = 0
     #: Summed consistent-API + chaos counters across runs (API health).
     api_health: dict = dataclasses.field(default_factory=dict)
+    #: Merged pipeline observability snapshot (counters summed, gauges
+    #: maxed, histogram buckets summed) across traced, scored runs.
+    #: Empty unless the campaign ran with tracing enabled.
+    pipeline_metrics: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def scored_runs(self) -> int:
+        """Runs that actually contribute to the rates above."""
+        return self.total_runs - self.failed_runs
 
     @property
     def tp(self) -> int:
@@ -103,7 +114,9 @@ class CampaignMetrics:
         return {
             "min": times[0],
             "mean": statistics.fmean(times),
-            "p95": times[min(len(times) - 1, int(round(0.95 * len(times))) )],
+            # Nearest-rank percentile: rank ceil(p*n) (1-based), so a
+            # single sample is its own p95 and n=20 picks the 19th value.
+            "p95": times[math.ceil(0.95 * len(times)) - 1],
             "max": times[-1],
         }
 
@@ -116,11 +129,13 @@ def _diagnosed_interference(outcome: RunOutcome) -> tuple[int, int]:
     for truth in detected:
         reports = grouped.get(truth, [])
         # Scale-in / account-limit diagnoses must *confirm* their cause;
-        # a random termination counts as correctly handled even when the
-        # author stays undetermined — the paper explicitly could not
-        # diagnose those, so we score them the same way they did: as a
-        # detection whose root cause attribution failed.
+        # a random termination counts as correctly handled when the report
+        # honestly confirms *nothing* — the paper explicitly could not
+        # diagnose those, so the accurate outcome is a detection whose
+        # root-cause attribution stays undetermined.
         if truth == "RANDOM_TERMINATION":
+            if not any(s == "confirmed" for r in reports for _n, s in r.causes):
+                correct += 1
             continue
         if any(s == "confirmed" for r in reports for _n, s in r.causes):
             correct += 1
@@ -140,11 +155,14 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
     failed_runs = 0
     degraded_verdicts = 0
     api_health: dict = {}
+    metric_snapshots: list[dict] = []
 
     for outcome in outcomes:
         if outcome.failed:
             failed_runs += 1
             continue
+        if getattr(outcome, "metrics", None):
+            metric_snapshots.append(outcome.metrics)
         degraded_verdicts += getattr(outcome, "degraded_verdicts", 0)
         for key, value in getattr(outcome, "api_health", {}).items():
             api_health[key] = api_health.get(key, 0) + value
@@ -209,4 +227,5 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
         failed_runs=failed_runs,
         degraded_verdicts=degraded_verdicts,
         api_health=api_health,
+        pipeline_metrics=MetricsRegistry.merge(metric_snapshots) if metric_snapshots else {},
     )

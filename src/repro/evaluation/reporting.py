@@ -47,6 +47,9 @@ def render_markdown(
 def _headline_section(metrics: CampaignMetrics) -> str:
     stats = metrics.diagnosis_time_stats()
     rows = [
+        ("Total runs", "-", str(metrics.total_runs)),
+        ("Failed runs (crashed, excluded)", "0", str(metrics.failed_runs)),
+        ("Scored runs", "-", str(metrics.scored_runs)),
         ("Injected faults detected", PAPER["faults"],
          f"{metrics.faults_detected}/{metrics.faults_injected}"),
         ("Interference detections", PAPER["interference"],

@@ -16,6 +16,7 @@ from repro.logsys.record import LogRecord, LogStream
 from repro.logsys.storage import CentralLogStorage
 from repro.logsys.timers import TimerSetter
 from repro.logsys.trigger import Trigger
+from repro.obs import NULL_OBS
 
 
 class LocalLogProcessor:
@@ -30,6 +31,7 @@ class LocalLogProcessor:
         storage: CentralLogStorage,
         timer_setter: TimerSetter | None = None,
         ship_positions: _t.Iterable[str] = ("start", "end"),
+        obs=None,
     ) -> None:
         self.noise_filter = noise_filter
         self.process_annotator = process_annotator
@@ -43,6 +45,11 @@ class LocalLogProcessor:
         self.ship_positions = set(ship_positions)
         self.processed_count = 0
         self.shipped_count = 0
+        obs = obs or NULL_OBS
+        # Hot path: resolve the enabled check once so a disabled layer
+        # costs one `is None` test per record.
+        self._tracer = obs.tracer if obs.enabled else None
+        self._metrics = obs.metrics if obs.enabled else None
 
     def attach(self, stream: LogStream) -> None:
         """Tail a log stream, processing each record as it is emitted."""
@@ -51,8 +58,22 @@ class LocalLogProcessor:
     def process(self, record: LogRecord) -> bool:
         """Run one record through the pipeline; True if it was shipped."""
         if not self.noise_filter.accepts(record):
+            if self._metrics is not None:
+                self._metrics.inc("pipeline.records_filtered")
             return False
         self.processed_count += 1
+        if self._tracer is None:
+            return self._pipe(record)
+        self._metrics.inc("pipeline.records_ingested")
+        with self._tracer.span("record", "ingest", source=record.source) as span:
+            shipped = self._pipe(record)
+            span.set(step=record.tag_value("step"), shipped=shipped)
+        if shipped:
+            self._metrics.inc("pipeline.records_shipped")
+        return shipped
+
+    def _pipe(self, record: LogRecord) -> bool:
+        """annotate → timers → trigger → ship (the Fig. 3 stages)."""
         self.process_annotator.annotate(record)
         assertion_ids = self.assertion_annotator.annotate(record)
         if self.timer_setter is not None:

@@ -109,11 +109,19 @@ class PeriodicTimer:
             return
         self._fire("aligned", record)
         self._generation += 1
-        self.engine.process(self._arm(self._generation), name=f"timer-{self.name}")
+        self.engine.process(
+            self._arm(self._generation, first_slack=self.slack),
+            name=f"timer-{self.name}",
+        )
 
-    def _arm(self, generation: int) -> _t.Generator:
+    def _arm(self, generation: int, first_slack: float = 0.0) -> _t.Generator:
+        # Slack widens only the deadline immediately after a kick (the
+        # calibrated tolerance for the *next* expected log event); an
+        # unkicked timer fires every ``interval`` exactly, as documented.
+        delay = self.interval + first_slack
         while self.running and generation == self._generation:
-            yield self.engine.timeout(self.interval + self.slack)
+            yield self.engine.timeout(delay)
+            delay = self.interval
             if not self.running or generation != self._generation:
                 return
             self._fire("timeout" if self.watchdog else "periodic", None)

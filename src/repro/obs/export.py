@@ -1,0 +1,90 @@
+"""Render and serialise traces: JSON payloads and human-readable trees.
+
+The JSON shape (one object per run) is what ``python -m repro
+trace-export`` writes and what downstream tooling should parse::
+
+    {
+      "run_id": "ami_changed-01",
+      "spans": [{"span_id": 1, "parent_id": null, "name": ..., "stage":
+                 ..., "start": ..., "end": ..., "attrs": {...}}, ...],
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+
+:func:`render_span_tree` prints the same spans as an indented tree with
+virtual timestamps — the quickest way to read where a run spent its
+time and which stage produced which verdict.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+#: Attributes surfaced inline in the rendered tree, in display order.
+_TREE_ATTRS = (
+    "status", "activity", "assertion_id", "cause", "result", "verdict",
+    "test", "trigger", "tree_ids", "cached",
+)
+
+
+def span_children(spans: _t.Sequence[dict]) -> dict[int | None, list[dict]]:
+    """Index spans by parent id, preserving span-id order."""
+    children: dict[int | None, list[dict]] = {}
+    for span in spans:
+        children.setdefault(span["parent_id"], []).append(span)
+    return children
+
+
+def span_stages(spans: _t.Iterable[dict]) -> dict[str, int]:
+    """Span count per pipeline stage (sorted by stage name)."""
+    stages: dict[str, int] = {}
+    for span in spans:
+        stages[span["stage"]] = stages.get(span["stage"], 0) + 1
+    return {k: stages[k] for k in sorted(stages)}
+
+
+def _format_span(span: dict) -> str:
+    start = span["start"]
+    end = span["end"]
+    timing = f"[{start:9.3f}s"
+    timing += f" +{end - start:7.3f}s]" if end is not None else "   (open)]"
+    attrs = span.get("attrs", {})
+    shown = [f"{k}={attrs[k]}" for k in _TREE_ATTRS if k in attrs]
+    suffix = f"  {' '.join(shown)}" if shown else ""
+    return f"{timing} {span['stage']}:{span['name']}{suffix}"
+
+
+def render_span_tree(
+    spans: _t.Sequence[dict], title: str | None = None, max_spans: int | None = None
+) -> str:
+    """Indented per-run span tree, one line per span, virtual timestamps."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    children = span_children(spans)
+
+    def walk(parent_id: int | None, depth: int) -> None:
+        for span in children.get(parent_id, ()):
+            if max_spans is not None and len(lines) >= max_spans:
+                return
+            lines.append("  " * depth + _format_span(span))
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+    total = len(spans)
+    if max_spans is not None and total > max_spans:
+        lines.append(f"... ({total - max_spans} more spans; see the JSON export)")
+    stages = span_stages(spans)
+    summary = ", ".join(f"{stage}={count}" for stage, count in stages.items())
+    lines.append(f"{total} spans ({summary})")
+    return "\n".join(lines)
+
+
+def trace_payload(run_id: str, spans: _t.Sequence[dict], metrics: dict | None) -> dict:
+    """The per-run JSON object written by ``trace-export``."""
+    return {
+        "run_id": run_id,
+        "span_count": len(spans),
+        "stages": span_stages(spans),
+        "spans": list(spans),
+        "metrics": metrics or {},
+    }

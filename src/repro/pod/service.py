@@ -60,7 +60,13 @@ class PODDiagnosis:
         seed: int = 0,
         profile=None,
         chaos=None,
+        obs=None,
     ) -> None:
+        from repro.obs import NULL_OBS
+
+        #: Observability layer threaded through every pipeline component
+        #: (spans + metrics); the shared disabled instance by default.
+        self.obs = obs or NULL_OBS
         self.cloud = cloud
         self.config = config
         #: Optional :class:`~repro.cloud.chaos.ChaosController` degrading
@@ -99,9 +105,10 @@ class PODDiagnosis:
                 retry_budget=RetryBudget(capacity=32.0, refill_rate=0.75),
                 breaker_threshold=6,
                 breaker_cooldown=45.0,
+                obs=self.obs,
             )
         else:
-            client = ConsistentApiClient(engine, api, latency=latency)
+            client = ConsistentApiClient(engine, api, latency=latency, obs=self.obs)
         self.env = AssertionEnvironment(
             engine=engine,
             client=client,
@@ -113,7 +120,8 @@ class PODDiagnosis:
         self.env.trail = cloud.trail
         self.env.operation_api_calls = cloud.api("asgard").calls
         self.assertions = AssertionEvaluationService(
-            self.env, storage=self.storage, on_failure=self._on_assertion_failure
+            self.env, storage=self.storage, on_failure=self._on_assertion_failure,
+            obs=self.obs,
         )
         registry = assertions or standard_rolling_upgrade_assertions(
             count_timeout=config.assertion_convergence_timeout,
@@ -132,6 +140,7 @@ class PODDiagnosis:
             storage=self.storage,
             seed=seed,
             step_aliases=getattr(profile, "step_aliases", {}),
+            obs=self.obs,
         )
 
         # Conformance checking.
@@ -141,6 +150,7 @@ class PODDiagnosis:
             clock=engine.clock,
             storage=self.storage,
             on_error=self._on_conformance_error,
+            obs=self.obs,
         )
 
         # Timers (watchdog armed per watch()).
@@ -178,6 +188,7 @@ class PODDiagnosis:
             ),
             storage=self.storage,
             timer_setter=self.timers,
+            obs=self.obs,
         )
         processor.attach(stream)
         self.processors.append(processor)

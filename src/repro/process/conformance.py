@@ -62,7 +62,10 @@ class ConformanceChecker:
         clock=None,
         storage=None,
         on_error: _t.Callable[[ConformanceResult], None] | None = None,
+        obs=None,
     ) -> None:
+        from repro.obs import NULL_OBS
+
         self.model = model
         self.library = library
         self.clock = clock
@@ -71,6 +74,9 @@ class ConformanceChecker:
         self.instances: dict[str, ProcessInstance] = {}
         self.results: list[ConformanceResult] = []
         self.check_count = 0
+        obs = obs or NULL_OBS
+        self._tracer = obs.tracer if obs.enabled else None
+        self._metrics = obs.metrics if obs.enabled else None
 
     def instance_for(self, trace_id: str) -> ProcessInstance:
         if trace_id not in self.instances:
@@ -78,7 +84,19 @@ class ConformanceChecker:
         return self.instances[trace_id]
 
     def check(self, record: LogRecord) -> ConformanceResult:
-        """Check one line; tags the record and returns the result."""
+        """Check one line; tags the record and returns the result.
+
+        When tracing is on, the whole replay — including any diagnosis
+        the error callback starts — runs inside a ``conformance`` span.
+        """
+        if self._tracer is None:
+            return self._check(record)
+        with self._tracer.span("check", "conformance") as span:
+            result = self._check(record)
+            span.set(status=result.status, activity=result.activity, trace=result.trace_id)
+        return result
+
+    def _check(self, record: LogRecord) -> ConformanceResult:
         self.check_count += 1
         trace_id = record.tag_value("trace") or "unknown"
         instance = self.instance_for(trace_id)
@@ -103,6 +121,10 @@ class ConformanceChecker:
                 context.skipped_activities = instance.hypothesize_skipped(activity)
                 instance.replay(activity, time=record.time)
                 status = UNFIT
+        if self._metrics is not None:
+            self._metrics.inc(f"conformance.checks.{status}")
+            if status in (FIT, UNFIT):
+                self._metrics.inc("conformance.tokens_replayed")
 
         record.add_tag(f"conformance:{status}")
         context.conformance = status

@@ -17,6 +17,7 @@ from repro.cloud.chaos import ChaosController, get_profile
 from repro.cloud.provider import SimulatedCloud
 from repro.cloud.limits import AccountLimits
 from repro.logsys.record import LogStream
+from repro.obs import Observability
 from repro.operations.base import COMPLETED as OP_COMPLETED, FAILED as OP_FAILED
 from repro.operations.rolling_upgrade import RollingUpgradeOperation, RollingUpgradeParams
 from repro.pod.config import PodConfig
@@ -57,6 +58,7 @@ class Testbed:
         watchdog_interval: float | None = None,
         mean_consistency_lag: float = 2.5,
         chaos=None,
+        trace: bool = False,
     ) -> None:
         self.cluster_size = cluster_size
         self.seed = seed
@@ -71,6 +73,11 @@ class Testbed:
             mean_consistency_lag=mean_consistency_lag * chaos_profile.consistency_lag_multiplier,
         )
         self.engine = self.cloud.engine
+        # Tracing + metrics over the virtual clock (see repro.obs).  Off
+        # by default: the disabled layer records nothing and, either way,
+        # no engine events or RNG draws are added — seeded runs stay
+        # bit-for-bit identical with tracing on or off.
+        self.obs = Observability.for_engine(self.engine, enabled=trace)
         self.chaos = ChaosController(self.engine, chaos_profile, seed=seed + 71)
         self.stack = self._provision()
         self.cloud.start()
@@ -97,7 +104,9 @@ class Testbed:
             operation_start=self.engine.now,
             **config_kwargs,
         )
-        self.pod = PODDiagnosis(self.cloud, self.pod_config, seed=seed, chaos=self.chaos)
+        self.pod = PODDiagnosis(
+            self.cloud, self.pod_config, seed=seed, chaos=self.chaos, obs=self.obs
+        )
         self.stream = LogStream("asgard.log")
         self.upgrade: RollingUpgradeOperation | None = None
 

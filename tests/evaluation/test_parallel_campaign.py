@@ -6,6 +6,7 @@ the runs execute serially or across any number of worker processes.
 """
 
 import dataclasses
+import json
 import pickle
 
 import pytest
@@ -77,6 +78,69 @@ class TestDeterminism:
         outcomes = campaign.run()
         assert outcomes == serial
         assert pickle.dumps(compute_metrics(outcomes)) == serial_metrics
+
+
+def _trace_bytes(outcome: RunOutcome) -> tuple[bytes, bytes]:
+    """Canonical serialisation of the exported trace + metrics.
+
+    JSON with sorted keys, not ``pickle.dumps``: pickle encodes object
+    *identity* (an interned string shared inside one process pickles as a
+    memo back-reference, a round-tripped copy pickles literally), so its
+    bytes differ across equal graphs.  The exported artifact is JSON, and
+    that is what must be bit-for-bit identical.
+    """
+    return (
+        json.dumps(outcome.trace, sort_keys=True).encode(),
+        json.dumps(outcome.metrics, sort_keys=True).encode(),
+    )
+
+
+class TestTracedDeterminism:
+    """Tracing adds no engine events or RNG draws: traced outcomes —
+    spans and metric snapshots included — stay bit-for-bit identical at
+    any worker count."""
+
+    TRACED_CONFIG = dataclasses.replace(SMALL_CONFIG, trace=True)
+
+    def test_traced_small_campaign_identical(self):
+        serial, serial_metrics = _run(self.TRACED_CONFIG, None)
+        parallel, parallel_metrics = _run(self.TRACED_CONFIG, 2)
+        assert parallel == serial
+        assert [_trace_bytes(o) for o in parallel] == [_trace_bytes(o) for o in serial]
+        assert parallel_metrics == serial_metrics
+        for outcome in serial:
+            assert outcome.trace, "traced run exported no spans"
+            assert outcome.metrics["counters"], "traced run has no counters"
+
+    @pytest.mark.slow
+    def test_traced_full_fault_mix_identical(self):
+        # 8 fault types x 3 runs = 24 traced runs, serial vs 4 workers.
+        config = CampaignConfig(
+            runs_per_fault=3, large_cluster_runs=0, seed=909, trace=True
+        )
+        serial, serial_metrics = _run(config, None)
+        parallel, parallel_metrics = _run(config, 4)
+        assert parallel == serial
+        assert [_trace_bytes(o) for o in parallel] == [_trace_bytes(o) for o in serial]
+        assert parallel_metrics == serial_metrics
+        stages = {s["stage"] for o in serial for s in o.trace}
+        assert {"ingest", "conformance", "assertion", "diagnosis"} <= stages
+
+    def test_tracing_does_not_change_untraced_results(self):
+        traced, _ = _run(self.TRACED_CONFIG, None)
+        plain, _ = _run(SMALL_CONFIG, None)
+        for with_trace, without in zip(traced, plain):
+            stripped = dataclasses.replace(
+                with_trace,
+                spec=dataclasses.replace(with_trace.spec, trace=False),
+                trace=None,
+                metrics={},
+            )
+            assert stripped == without
+
+    def test_untraced_outcomes_carry_no_payload(self):
+        plain, _ = _run(SMALL_CONFIG, None)
+        assert all(o.trace is None and o.metrics == {} for o in plain)
 
 
 class TestCrashIsolation:

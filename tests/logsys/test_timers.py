@@ -80,15 +80,36 @@ class TestPeriodicTimer:
         timer.stop()
         assert firings[0].cause == "timeout"
 
-    def test_slack_extends_deadline(self, engine):
+    def test_unkicked_timer_ignores_slack(self, engine):
+        # Regression: slack used to leak into every period, so a timer
+        # that was never kicked fired at interval + slack instead of the
+        # documented "every ``interval``".
         firings = []
         timer = PeriodicTimer(engine, 5.0, firings.append, slack=2.0)
         timer.start()
-        engine.run(until=6)
-        assert firings == []
-        engine.run(until=8)
+        engine.run(until=16)
         timer.stop()
-        assert len(firings) == 1
+        assert [f.time for f in firings] == [5.0, 10.0, 15.0]
+
+    def test_slack_widens_post_kick_deadline_only(self, engine):
+        firings = []
+        timer = PeriodicTimer(engine, 5.0, firings.append, slack=2.0, watchdog=True)
+        timer.start()
+
+        def kicker():
+            yield engine.timeout(3.0)
+            timer.kick()
+
+        engine.process(kicker())
+        # Kick at 3 pushes the watchdog deadline to 3 + 5 + 2 = 10.
+        engine.run(until=9.5)
+        assert [(f.time, f.cause) for f in firings] == [(3.0, "aligned")]
+        engine.run(until=10.5)
+        assert (firings[-1].time, firings[-1].cause) == (10.0, "timeout")
+        # After the widened deadline expires, periods revert to interval.
+        engine.run(until=15.5)
+        timer.stop()
+        assert (firings[-1].time, firings[-1].cause) == (15.0, "timeout")
 
     def test_invalid_interval_rejected(self, engine):
         with pytest.raises(ValueError):
