@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test bench chaos trace
+.PHONY: check test bench bench-pytest chaos trace
 
 # The fast gate for every push: tier-1 minus the slow full-campaign
 # tests, plus the parallel-campaign determinism regression.
@@ -22,5 +22,13 @@ trace:
 test:
 	python -m pytest -x -q
 
+# Hot-path benchmarks + regression gate: compares the gated *ratio*
+# metrics (classify-once speedup, prefilter speedup, parallel speedup)
+# against the committed BENCH_*.json baselines before rewriting them.
+# Commit the rewritten artifacts to refresh the baseline.
 bench:
+	python -m repro bench --baseline benchmarks --tolerance 0.25 --out benchmarks
+
+# The original pytest-benchmark microbenchmark suite (exploratory; no gate).
+bench-pytest:
 	python -m pytest benchmarks/ --benchmark-only -q

@@ -26,7 +26,7 @@ import math
 import typing as _t
 
 from repro.logsys.annotator import AssertionAnnotator
-from repro.logsys.patterns import PatternLibrary
+from repro.logsys.patterns import PatternLibrary, classify_record
 from repro.process.model import ProcessModel
 
 
@@ -172,7 +172,9 @@ def measure_step_gaps(stream_records: _t.Iterable, library: PatternLibrary) -> l
     gaps: list[float] = []
     last_end: float | None = None
     for record in stream_records:
-        classification = library.classify(record.message)
+        # Classify-once: stream records that already went through the
+        # pipeline carry their classification; fresh ones get memoised.
+        classification = classify_record(library, record)
         if not classification.matched:
             continue
         if classification.pattern.position != "end":

@@ -211,20 +211,24 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    from repro.operations.rolling_upgrade import build_pattern_library
+    from repro.logsys.patterns import classify_record
+    from repro.operations.profile import shared_rolling_upgrade_profile
     from repro.process.mining.dfg import DirectlyFollowsGraph
     from repro.process.mining.discovery import discover_model
     from repro.process.serialize import model_to_dot
     from repro.testbed import Testbed
 
-    library = build_pattern_library()
+    # The warm shared library is the same instance the testbed's pipeline
+    # classifies with, so stream records arrive here already classified
+    # and the miner gets memo hits instead of re-scanning every line.
+    library = shared_rolling_upgrade_profile().library
     traces = []
     for seed in range(args.runs):
         testbed = Testbed(cluster_size=4, seed=args.seed + seed)
         testbed.run_upgrade(trace_id=f"mine-{seed}")
         trace = []
         for record in testbed.stream.records:
-            classification = library.classify(record.message)
+            classification = classify_record(library, record)
             if classification.matched and not classification.pattern.is_error:
                 trace.append(classification.activity)
         traces.append(trace)
@@ -239,6 +243,33 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             print(f"  {source} -> {target}")
         print(f"loop edges: {dfg.loop_edges()}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.evaluation.bench import (
+        compare_to_baseline,
+        render_results,
+        run_benchmarks,
+        write_artifacts,
+    )
+
+    results = run_benchmarks(quick=args.quick, workers=args.workers, seed=args.seed)
+    print(render_results(results))
+    regressions: list[str] = []
+    if args.baseline:
+        regressions, notes = compare_to_baseline(
+            results, args.baseline, tolerance=args.tolerance
+        )
+        for note in notes:
+            print(f"note: {note}")
+        for regression in regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        if not regressions:
+            print(f"gate: OK (tolerance {args.tolerance:.0%} vs {args.baseline})")
+    if args.out:
+        paths = write_artifacts(results, args.out)
+        print("artifacts: " + ", ".join(paths))
+    return 1 if regressions else 0
 
 
 def _cmd_trees(args: argparse.Namespace) -> int:
@@ -333,6 +364,28 @@ def build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--seed", type=int, default=500)
     mine.add_argument("--dot", action="store_true", help="print Graphviz DOT")
     mine.set_defaults(func=_cmd_mine)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the hot-path benchmarks and gate against the committed baseline",
+    )
+    bench.add_argument(
+        "--out", help="write BENCH_<name>.json artifacts into this directory"
+    )
+    bench.add_argument(
+        "--baseline",
+        help="compare gated (ratio) metrics against BENCH_*.json in this directory",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional regression on gated metrics (default 0.25)",
+    )
+    bench.add_argument("--workers", type=int, default=4,
+                       help="worker pool size for the campaign benchmark")
+    bench.add_argument("--seed", type=int, default=2014)
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller sizes (smoke mode; noisier numbers)")
+    bench.set_defaults(func=_cmd_bench)
 
     trees = sub.add_parser("trees", help="inventory the standard fault trees")
     trees.add_argument("--dot", metavar="TREE_ID", help="print one tree as Graphviz DOT")

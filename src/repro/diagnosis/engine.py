@@ -290,6 +290,11 @@ class DiagnosisEngine:
                 tests=len(report.tests),
             )
             self._metrics.observe("diagnosis.walk.duration", report.finished_at - report.started_at)
+            # Per-walk reuse of diagnostic-test results (§III.B.4): the
+            # cache is scoped to this diagnosis, counters aggregate into
+            # the run's registry so trace-export shows the reuse rate.
+            self._metrics.inc("diagnosis.cache.hits", cache.hits)
+            self._metrics.inc("diagnosis.cache.misses", cache.misses)
         for callback in self._done_callbacks:
             callback(report)
         return report

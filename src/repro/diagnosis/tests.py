@@ -14,6 +14,7 @@ start time — bounds every historical query.
 
 from __future__ import annotations
 
+import functools
 import typing as _t
 
 from repro.assertions.consistent_api import ConsistentCallError
@@ -291,3 +292,15 @@ def build_standard_probes() -> CustomTestRegistry:
     registry.register("desired-capacity-mismatch", probe_desired_capacity_mismatch)
     registry.register("instances-out-of-service", probe_instances_out_of_service)
     return registry
+
+
+@functools.lru_cache(maxsize=1)
+def shared_standard_probes() -> CustomTestRegistry:
+    """Process-wide warm copy of the standard probe registry.
+
+    Probes are stateless generator functions; the registry is only read
+    at diagnosis time, so one copy serves every run in a process.  Callers
+    that want to register extra probes must build their own registry with
+    :func:`build_standard_probes`.
+    """
+    return build_standard_probes()

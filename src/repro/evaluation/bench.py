@@ -1,0 +1,398 @@
+"""Benchmark-regression harness: ``make bench`` / ``python -m repro bench``.
+
+Three benchmarks cover the pipeline's hot paths:
+
+- **matching** — pattern-classification throughput over a synthetic but
+  realistic log corpus: the seed path (four naive linear scans per line,
+  one per pipeline stage) against the compiled classify-once path (one
+  prefiltered scan, three memo hits), plus single-scan naive vs compiled
+  for the prefilter's own contribution;
+- **conformance** — token-replay check latency over annotated records
+  (the paper's "responded on average in about 10ms" path);
+- **campaign** — fault-injection campaign runs/sec, serial and across a
+  warm chunked worker pool.
+
+Each benchmark produces a ``BENCH_<name>.json`` artifact:
+``{"name", "metrics", "gate"}`` where ``gate`` names the metrics the
+regression gate compares and the direction that counts as better.  Gated
+metrics are deliberately machine-relative **ratios** (compiled vs naive
+speedup, parallel vs serial speedup) measured inside one process on one
+machine — absolute lines/sec are recorded for the record but not gated,
+because they vary far more across hosts than any real regression.
+
+The committed artifacts under ``benchmarks/`` are the baseline;
+:func:`compare_to_baseline` fails a run whose gated ratio regressed more
+than the tolerance (default 25%).  Refresh the baseline by re-running
+``make bench`` on a quiet machine and committing the rewritten files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+import typing as _t
+
+#: Gate directions.
+HIGHER = "higher"
+LOWER = "lower"
+
+#: Default regression tolerance (fraction of the baseline value).
+DEFAULT_TOLERANCE = 0.25
+
+#: One realistic line per pattern of the rolling-upgrade library.
+_MATCHING_TEMPLATES = (
+    "Pushing ami-{i:08x} into group asg-dsn: rolling upgrade task started",
+    "Updated launch configuration of group asg-dsn to lc-app-v2 with image ami-{i:08x}",
+    "Sorted {n} instances of group asg-dsn for replacement",
+    "Deregistered instance i-{i:08x} from load balancer elb-dsn",
+    "Terminating instance i-{i:08x} in group asg-dsn",
+    "Waiting for group asg-dsn to start a new instance",
+    "Status info: {n} of 4 instance relaunches done",
+    "Instance i-{i:08x} is ready for use in group asg-dsn. {n} of 4 instance relaunches done",
+    "Rolling upgrade task completed for group asg-dsn",
+    "Exception during terminate: request failed",
+)
+
+#: Chatter the noise filter sees: no pattern can match these.
+_NOISE_TEMPLATES = (
+    "health check ok for node-{n}",
+    "cache refresh finished in {n}ms",
+    "scheduler tick {i}",
+    "connection pool stats: {n} idle",
+)
+
+#: Near misses: share literal fragments with real lines but never match —
+#: the prefilter's worst case (literal present, regex still runs).
+_NEAR_MISS_TEMPLATES = (
+    "instance i-{i:08x} not found in group asg-other",
+    "group asg-dsn settings unchanged, skipping launch configuration",
+    "load balancer elb-dsn responded slowly",
+)
+
+
+def synthesize_corpus(lines: int, seed: int = 7) -> list[str]:
+    """A deterministic mixed log corpus: ~45% matches, ~40% noise, ~15% near misses."""
+    rng = random.Random(seed)
+    corpus: list[str] = []
+    for index in range(lines):
+        draw = rng.random()
+        if draw < 0.45:
+            template = rng.choice(_MATCHING_TEMPLATES)
+        elif draw < 0.85:
+            template = rng.choice(_NOISE_TEMPLATES)
+        else:
+            template = rng.choice(_NEAR_MISS_TEMPLATES)
+        corpus.append(template.format(i=index, n=rng.randrange(1, 5)))
+    return corpus
+
+
+def _timed(fn: _t.Callable[[], None]) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+# -- matching -----------------------------------------------------------------
+
+
+def bench_matching(lines: int = 6000, repeat: int = 5, seed: int = 7) -> dict:
+    """Classify-once + prefilter vs the seed's four-linear-scans path.
+
+    The gated outputs are *ratios* between paths.  To keep them stable on
+    noisy shared hosts every path is timed once per round, rounds
+    interleaved, and each path's best round wins — both sides of a ratio
+    see the same thermal / CPU-steal conditions.
+    """
+    from repro.logsys.patterns import classify_record
+    from repro.logsys.record import LogRecord
+    from repro.operations.rolling_upgrade import build_pattern_library
+
+    corpus = synthesize_corpus(lines, seed=seed)
+    naive = build_pattern_library(compiled=False)
+    compiled = build_pattern_library(compiled=True)
+
+    #: The seed pipeline classified each line at this many call sites
+    #: (noise filter, process annotator, conformance, gap measurement).
+    call_sites = 4
+
+    def seed_path() -> None:
+        for message in corpus:
+            for _ in range(call_sites):
+                naive.classify(message)
+
+    def classify_once_path() -> None:
+        records = [
+            LogRecord(time=0.0, source="bench", message=message) for message in corpus
+        ]
+        started = time.perf_counter()
+        for record in records:
+            for _ in range(call_sites):
+                classify_record(compiled, record)
+        times["classify_once"] = min(
+            times["classify_once"], time.perf_counter() - started
+        )
+
+    def single(library) -> _t.Callable[[], None]:
+        def run() -> None:
+            for message in corpus:
+                library.classify(message)
+        return run
+
+    times = {
+        "seed": float("inf"),
+        "classify_once": float("inf"),
+        "naive_single": float("inf"),
+        "compiled_single": float("inf"),
+    }
+    for _ in range(repeat):
+        times["seed"] = min(times["seed"], _timed(seed_path))
+        classify_once_path()  # times record construction outside the clock
+        times["naive_single"] = min(times["naive_single"], _timed(single(naive)))
+        times["compiled_single"] = min(
+            times["compiled_single"], _timed(single(compiled))
+        )
+    seed_time = times["seed"]
+    classify_once_time = times["classify_once"]
+    naive_single_time = times["naive_single"]
+    compiled_single_time = times["compiled_single"]
+
+    return {
+        "name": "matching",
+        "metrics": {
+            "lines": lines,
+            "seed_path_lines_per_sec": lines / seed_time,
+            "classify_once_lines_per_sec": lines / classify_once_time,
+            "classify_once_speedup": seed_time / classify_once_time,
+            "naive_single_lines_per_sec": lines / naive_single_time,
+            "compiled_single_lines_per_sec": lines / compiled_single_time,
+            "prefilter_speedup": naive_single_time / compiled_single_time,
+        },
+        "gate": {
+            "classify_once_speedup": HIGHER,
+            "prefilter_speedup": HIGHER,
+        },
+    }
+
+
+# -- conformance --------------------------------------------------------------
+
+
+def bench_conformance(traces: int = 300, repeat: int = 3, seed: int = 11) -> dict:
+    """Wall-clock latency of token-replay conformance checks."""
+    from repro.logsys.record import LogRecord
+    from repro.operations.rolling_upgrade import build_pattern_library, reference_process_model
+    from repro.process.conformance import ConformanceChecker
+
+    library = build_pattern_library(compiled=True)
+    model = reference_process_model()
+    rng = random.Random(seed)
+
+    #: One fit trace: the Fig. 2 happy path with two loop iterations.
+    flow = [
+        "Pushing ami-{i:08x} into group asg-dsn: rolling upgrade task started",
+        "Updated launch configuration of group asg-dsn to lc-app-v2 with image ami-{i:08x}",
+        "Sorted 4 instances of group asg-dsn for replacement",
+        "Deregistered instance i-{i:08x} from load balancer elb-dsn",
+        "Terminating instance i-{i:08x} in group asg-dsn",
+        "Waiting for group asg-dsn to start a new instance",
+        "Instance i-{i:08x} is ready for use in group asg-dsn. 1 of 4 instance relaunches done",
+        "Deregistered instance i-{i:08x} from load balancer elb-dsn",
+        "Terminating instance i-{i:08x} in group asg-dsn",
+        "Waiting for group asg-dsn to start a new instance",
+        "Instance i-{i:08x} is ready for use in group asg-dsn. 2 of 4 instance relaunches done",
+        "Rolling upgrade task completed for group asg-dsn",
+    ]
+
+    records: list[LogRecord] = []
+    for trace in range(traces):
+        for step, template in enumerate(flow):
+            records.append(
+                LogRecord(
+                    time=float(step),
+                    source="bench",
+                    message=template.format(i=rng.getrandbits(32)),
+                    tags=[f"trace:t-{trace}"],
+                )
+            )
+    checks = len(records)
+
+    best = float("inf")
+    for _ in range(repeat):
+        checker = ConformanceChecker(model, library)
+        fresh = [
+            LogRecord(time=r.time, source=r.source, message=r.message, tags=list(r.tags))
+            for r in records
+        ]
+        started = time.perf_counter()
+        for record in fresh:
+            checker.check(record)
+        best = min(best, time.perf_counter() - started)
+
+    return {
+        "name": "conformance",
+        "metrics": {
+            "checks": checks,
+            "checks_per_sec": checks / best,
+            "mean_latency_us": best / checks * 1e6,
+        },
+        # Absolute latency is machine-bound; recorded, not gated.
+        "gate": {},
+    }
+
+
+# -- campaign -----------------------------------------------------------------
+
+
+def bench_campaign(
+    runs_per_fault: int = 4, workers: int = 4, seed: int = 2014, repeat: int = 3
+) -> dict:
+    """Campaign runs/sec: serial, warm chunked pool, and per-spec pool.
+
+    ``parallel_speedup`` (pool vs serial) is bounded by the machine's
+    core count — on a single-core CI runner it sits below 1.0 no matter
+    how good the pool is, so ``cpu_count`` is recorded alongside it.
+    ``chunking_gain`` compares the warm chunked pool against per-spec
+    submission (``chunk_size=1``, the pre-chunking behaviour) at the
+    same worker count: that isolates exactly what chunked submission
+    buys, and holds on any core count.  Rounds are interleaved and each
+    configuration keeps its best round, like the matching benchmark.
+    """
+    from repro.evaluation.campaign import Campaign, CampaignConfig
+
+    def run(max_workers: int, chunk_size: int | None = None) -> tuple[float, int]:
+        from repro.evaluation.parallel import execute_specs
+
+        config = CampaignConfig(
+            runs_per_fault=runs_per_fault, large_cluster_runs=0, seed=seed
+        )
+        campaign = Campaign(config)
+        specs = campaign.build_specs()
+        started = time.perf_counter()
+        outcomes = execute_specs(specs, max_workers=max_workers, chunk_size=chunk_size)
+        elapsed = time.perf_counter() - started
+        failed = sum(1 for o in outcomes if o.failed)
+        if failed:
+            raise RuntimeError(f"{failed} campaign run(s) crashed during the benchmark")
+        return elapsed, len(outcomes)
+
+    serial_time = chunked_time = per_spec_time = float("inf")
+    total = 0
+    for _ in range(max(1, repeat)):
+        elapsed, total = run(1)
+        serial_time = min(serial_time, elapsed)
+        chunked_time = min(chunked_time, run(workers)[0])
+        per_spec_time = min(per_spec_time, run(workers, chunk_size=1)[0])
+
+    return {
+        "name": "campaign",
+        "metrics": {
+            "runs": total,
+            "workers": workers,
+            "cpu_count": os.cpu_count() or 1,
+            "serial_runs_per_sec": total / serial_time,
+            "parallel_runs_per_sec": total / chunked_time,
+            "per_spec_runs_per_sec": total / per_spec_time,
+            "parallel_speedup": serial_time / chunked_time,
+            "chunking_gain": per_spec_time / chunked_time,
+        },
+        "gate": {
+            "parallel_speedup": HIGHER,
+            "chunking_gain": HIGHER,
+        },
+    }
+
+
+# -- harness ------------------------------------------------------------------
+
+
+def run_benchmarks(quick: bool = False, workers: int = 4, seed: int = 2014) -> list[dict]:
+    """Run the full suite; ``quick`` shrinks sizes for smoke usage."""
+    if quick:
+        return [
+            bench_matching(lines=2000, repeat=2),
+            bench_conformance(traces=80, repeat=2),
+            bench_campaign(runs_per_fault=1, workers=workers, seed=seed, repeat=1),
+        ]
+    return [
+        bench_matching(),
+        bench_conformance(),
+        bench_campaign(runs_per_fault=4, workers=workers, seed=seed),
+    ]
+
+
+def artifact_path(out_dir: str, name: str) -> str:
+    return os.path.join(out_dir, f"BENCH_{name}.json")
+
+
+def write_artifacts(results: _t.Iterable[dict], out_dir: str) -> list[str]:
+    """Write one ``BENCH_<name>.json`` per result; returns the paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for result in results:
+        path = artifact_path(out_dir, result["name"])
+        with open(path, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+def compare_to_baseline(
+    results: _t.Iterable[dict],
+    baseline_dir: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> tuple[list[str], list[str]]:
+    """Gate current results against committed baseline artifacts.
+
+    Returns ``(regressions, notes)``: regressions are gate failures
+    (metric worse than baseline by more than ``tolerance``); notes cover
+    missing baselines and improvements worth refreshing the baseline for.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    for result in results:
+        name = result["name"]
+        path = artifact_path(baseline_dir, name)
+        if not os.path.exists(path):
+            notes.append(f"{name}: no baseline at {path} (first run? commit the artifact)")
+            continue
+        with open(path) as handle:
+            baseline = json.load(handle)
+        for metric, direction in result.get("gate", {}).items():
+            current = result["metrics"].get(metric)
+            reference = baseline.get("metrics", {}).get(metric)
+            if current is None or reference is None:
+                notes.append(f"{name}.{metric}: not present in both runs, skipped")
+                continue
+            if direction == HIGHER:
+                floor = reference * (1.0 - tolerance)
+                if current < floor:
+                    regressions.append(
+                        f"{name}.{metric}: {current:.3f} < {floor:.3f}"
+                        f" (baseline {reference:.3f}, tolerance {tolerance:.0%})"
+                    )
+            else:
+                ceiling = reference * (1.0 + tolerance)
+                if current > ceiling:
+                    regressions.append(
+                        f"{name}.{metric}: {current:.3f} > {ceiling:.3f}"
+                        f" (baseline {reference:.3f}, tolerance {tolerance:.0%})"
+                    )
+    return regressions, notes
+
+
+def render_results(results: _t.Iterable[dict]) -> str:
+    """Human-readable table of every benchmark's metrics."""
+    lines = []
+    for result in results:
+        lines.append(f"[{result['name']}]")
+        gated = result.get("gate", {})
+        for metric, value in result["metrics"].items():
+            marker = "  *" if metric in gated else "   "
+            rendered = f"{value:,.2f}" if isinstance(value, float) else f"{value}"
+            lines.append(f"{marker} {metric:32s} {rendered}")
+    lines.append("")
+    lines.append("(* = gated against the committed baseline)")
+    return "\n".join(lines)

@@ -15,6 +15,13 @@ This module exploits that:
 - :class:`ParallelCampaign` — a :class:`~repro.evaluation.campaign.Campaign`
   that defaults to using every core.
 
+**Throughput:** specs are submitted in *chunks* (several specs per
+future) so pickle/IPC round trips amortise across runs instead of being
+paid per run, and each worker is started with :func:`warm_worker`, a pool
+initializer that pre-builds the heavyweight immutable state every run
+needs (compiled pattern library, process model, fault-tree and probe
+registries) once per worker instead of once per run.
+
 **Determinism guarantee:** for a fixed :class:`CampaignConfig` seed, the
 outcome list — and therefore the computed
 :class:`~repro.evaluation.metrics.CampaignMetrics` — is bit-for-bit
@@ -23,9 +30,10 @@ workers.
 
 **Progress bridge:** callbacks cannot cross process boundaries (they are
 not picklable, and the child's prints would interleave).  Instead each
-worker returns its finished outcome through the future and the *parent*
+worker returns its finished outcomes through the future and the *parent*
 invokes ``progress(completed, total, outcome)`` as results arrive — in
-completion order for the pool path, in spec order for the serial path.
+chunk-completion order for the pool path (each chunk's outcomes reported
+in spec order), in spec order for the serial path.
 """
 
 from __future__ import annotations
@@ -68,6 +76,41 @@ def execute_run(spec: RunSpec, runner: Runner | None = None) -> RunOutcome:
         return RunOutcome.failure(spec, traceback.format_exc())
 
 
+#: Target chunks per worker: small enough to amortise pickle/IPC, large
+#: enough that one slow chunk cannot leave the pool idle at the tail.
+CHUNKS_PER_WORKER = 4
+
+
+def warm_worker() -> None:
+    """Pool initializer: pre-build heavyweight immutable state per worker.
+
+    Every campaign run needs the operation profile (compiled pattern
+    library + process model), the standard fault trees and the probe
+    registry.  All three are immutable during runs and cached
+    process-wide, so building them once in the initializer means no run
+    in this worker ever pays the build again.
+    """
+    from repro.diagnosis.tests import shared_standard_probes
+    from repro.faulttree.library import shared_standard_fault_trees
+    from repro.operations.profile import shared_rolling_upgrade_profile
+
+    shared_rolling_upgrade_profile()
+    shared_standard_fault_trees()
+    shared_standard_probes()
+
+
+def execute_chunk(specs: _t.Sequence[RunSpec], runner: Runner | None = None) -> list[RunOutcome]:
+    """Execute a chunk of specs in order; the unit of pool submission."""
+    return [execute_run(spec, runner) for spec in specs]
+
+
+def chunk_size_for(total: int, workers: int, chunk_size: int | None = None) -> int:
+    """Specs per future: explicit override, else ~CHUNKS_PER_WORKER each."""
+    if chunk_size is not None:
+        return max(1, chunk_size)
+    return max(1, -(-total // (workers * CHUNKS_PER_WORKER)))
+
+
 def resolve_workers(max_workers: int | None, total: int = 0) -> int:
     """Normalise a worker-count knob to an effective pool size.
 
@@ -86,12 +129,15 @@ def execute_specs(
     max_workers: int | None = None,
     progress: ProgressFn | None = None,
     runner: Runner | None = None,
+    chunk_size: int | None = None,
 ) -> list[RunOutcome]:
     """Execute a batch of specs, serially or across a process pool.
 
     The returned list is always in spec order, independent of worker
-    count and completion order.  ``runner`` substitutes the per-run
-    function (testing hook); with workers it must be picklable.
+    count, chunking and completion order.  ``runner`` substitutes the
+    per-run function (testing hook); with workers it must be picklable.
+    ``chunk_size`` pins the number of specs per submitted future
+    (default: ~:data:`CHUNKS_PER_WORKER` chunks per worker).
     """
     specs = list(specs)
     total = len(specs)
@@ -105,28 +151,40 @@ def execute_specs(
                 progress(index + 1, total, outcome)
         return outcomes
 
-    task: _t.Callable[[RunSpec], RunOutcome] = (
-        execute_run if runner is None else functools.partial(execute_run, runner=runner)
+    task: _t.Callable[[_t.Sequence[RunSpec]], list[RunOutcome]] = (
+        execute_chunk if runner is None else functools.partial(execute_chunk, runner=runner)
     )
+    size = chunk_size_for(total, workers, chunk_size)
     results: list[RunOutcome | None] = [None] * total
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {pool.submit(task, spec): index for index, spec in enumerate(specs)}
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers, initializer=warm_worker
+    ) as pool:
+        futures = {
+            pool.submit(task, specs[start:start + size]): start
+            for start in range(0, total, size)
+        }
         completed = 0
         for future in concurrent.futures.as_completed(futures):
-            index = futures[future]
+            start = futures[future]
+            chunk = specs[start:start + size]
             try:
-                outcome = future.result()
+                outcomes = future.result()
             except Exception as exc:
                 # execute_run already catches run exceptions inside the
                 # worker; reaching here means the worker itself died
-                # (killed, OOM, unpicklable result).  Still not fatal.
-                outcome = RunOutcome.failure(
-                    specs[index], f"worker failed: {type(exc).__name__}: {exc}"
-                )
-            results[index] = outcome
-            completed += 1
-            if progress is not None:
-                progress(completed, total, outcome)
+                # (killed, OOM, unpicklable result) mid-chunk.  Every run
+                # in the chunk is reported failed — still not fatal.
+                outcomes = [
+                    RunOutcome.failure(
+                        spec, f"worker failed: {type(exc).__name__}: {exc}"
+                    )
+                    for spec in chunk
+                ]
+            for offset, outcome in enumerate(outcomes):
+                results[start + offset] = outcome
+                completed += 1
+                if progress is not None:
+                    progress(completed, total, outcome)
     return _t.cast("list[RunOutcome]", results)
 
 

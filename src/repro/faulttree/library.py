@@ -13,6 +13,8 @@ faults ahead of rarer infrastructure faults).
 
 from __future__ import annotations
 
+import functools as _functools
+
 from repro.faulttree.builder import FaultTreeRegistry
 from repro.faulttree.tree import DiagnosticTest, FaultTree, node
 from repro.operations.steps import (
@@ -362,3 +364,16 @@ EXPECTED_ROOT_CAUSE = {
     "RANDOM_TERMINATION": {"instance-terminated-externally"},
     "ACCOUNT_LIMIT": {"account-limit-exceeded"},
 }
+
+
+@_functools.lru_cache(maxsize=1)
+def shared_standard_fault_trees() -> FaultTreeRegistry:
+    """Process-wide warm copy of the standard fault-tree registry.
+
+    Diagnosis always works on :func:`~repro.faulttree.instantiate.instantiate_tree`
+    *copies*, never the registry trees themselves, so one registry safely
+    serves every run in a process (the per-worker warm-state half of the
+    parallel-campaign speedup).  Callers that want to register extra trees
+    must build their own registry with :func:`build_standard_fault_trees`.
+    """
+    return build_standard_fault_trees()

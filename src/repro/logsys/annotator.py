@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import typing as _t
 
-from repro.logsys.patterns import Classification, PatternLibrary
+from repro.logsys.patterns import Classification, PatternLibrary, classify_record
 from repro.logsys.record import LogRecord
 
 
@@ -24,10 +24,12 @@ class ProcessAnnotator:
         library: PatternLibrary,
         process_id: str,
         trace_id: str | _t.Callable[[LogRecord], str],
+        obs=None,
     ) -> None:
         self.library = library
         self.process_id = process_id
         self._trace_id = trace_id
+        self._metrics = obs.metrics if obs is not None and obs.enabled else None
 
     def trace_id_for(self, record: LogRecord) -> str:
         if callable(self._trace_id):
@@ -35,8 +37,8 @@ class ProcessAnnotator:
         return self._trace_id
 
     def annotate(self, record: LogRecord) -> Classification:
-        """Classify and tag one record; returns the classification."""
-        classification = self.library.classify(record.message)
+        """Classify (or reuse the noise filter's memo) and tag one record."""
+        classification = classify_record(self.library, record, self._metrics)
         record.add_tag(f"process:{self.process_id}")
         record.add_tag(f"trace:{self.trace_id_for(record)}")
         if classification.matched:

@@ -12,7 +12,7 @@ from __future__ import annotations
 import re
 import typing as _t
 
-from repro.logsys.patterns import PatternLibrary
+from repro.logsys.patterns import PatternLibrary, classify_record
 from repro.logsys.record import LogRecord
 
 
@@ -34,6 +34,7 @@ class NoiseFilter:
         passthrough_regexes: _t.Iterable[str] = (),
         drop_regexes: _t.Iterable[str] = DEFAULT_DROP_REGEXES,
         passthrough_unmatched: bool = False,
+        obs=None,
     ) -> None:
         self.library = library
         self.passthrough = [re.compile(r) for r in passthrough_regexes]
@@ -45,14 +46,20 @@ class NoiseFilter:
         self.passthrough_unmatched = passthrough_unmatched
         self.dropped_count = 0
         self.passed_count = 0
+        self._metrics = obs.metrics if obs is not None and obs.enabled else None
 
     def accepts(self, record: LogRecord) -> bool:
-        """True if the record is relevant to the operation process."""
+        """True if the record is relevant to the operation process.
+
+        The classification computed here is *not* thrown away: it rides on
+        the record (classify-once), so the annotator and the conformance
+        checker downstream reuse it instead of rescanning the library.
+        """
         for regex in self.dropped:
             if regex.search(record.message):
                 self.dropped_count += 1
                 return False
-        if self.library.classify(record.message).matched:
+        if classify_record(self.library, record, self._metrics).matched:
             self.passed_count += 1
             return True
         if self.passthrough_unmatched:

@@ -94,3 +94,35 @@ class PatternLibrary:
 
     def __iter__(self):
         return iter(self.patterns)
+
+
+def classify_record(library: PatternLibrary, record, metrics=None) -> Classification:
+    """Classify-once: classify ``record`` or reuse its attached memo.
+
+    The seed pipeline classified every log line up to four times (noise
+    filter, process annotator, conformance checker, assertion-generation
+    gap measurement) — each a full scan of the library.  This helper makes
+    classification a compute-at-ingest property of the record: the first
+    caller pays for the scan, the result rides on the record
+    (``record.classification``), and every later stage gets a dict-free
+    attribute read.  The memo is only reused when the *same* library
+    object produced it, so mixing libraries stays correct.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`, optional)
+    receives ``classify.memo.hits`` / ``classify.memo.misses`` counters so
+    reuse is visible in traced runs.  Objects that don't accept attributes
+    (plain message carriers in tests) are classified without memoisation.
+    """
+    if getattr(record, "classified_by", None) is library:
+        if metrics is not None:
+            metrics.inc("classify.memo.hits")
+        return record.classification
+    classification = library.classify(record.message)
+    try:
+        record.classification = classification
+        record.classified_by = library
+    except AttributeError:
+        pass
+    if metrics is not None:
+        metrics.inc("classify.memo.misses")
+    return classification

@@ -25,13 +25,38 @@ class LogRecord:
     fields: dict[str, _t.Any] = dataclasses.field(default_factory=dict)
     #: Rendered wall-clock-style timestamp (set by the emitter).
     timestamp: str = ""
+    #: Classify-once memo: the Classification computed at ingest, reused
+    #: by every later stage instead of re-running the pattern scan (see
+    #: :func:`repro.logsys.patterns.classify_record`).  ``classified_by``
+    #: records which library produced it so a *different* library never
+    #: wrongly reuses it.  Both are bookkeeping, not payload: excluded
+    #: from equality and from the Logstash rendering.
+    classification: _t.Any = dataclasses.field(default=None, repr=False, compare=False)
+    classified_by: _t.Any = dataclasses.field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Tags are read on the hot path (`tag_value("trace")` per
+        # conformance check), so they are indexed by prefix: first
+        # ``prefix:value`` wins, insertion order preserved in ``tags``
+        # itself for serialization.
+        self._tag_set = set(self.tags)
+        self._tag_index: dict[str, str] = {}
+        for tag in self.tags:
+            self._index_tag(tag)
+
+    def _index_tag(self, tag: str) -> None:
+        prefix, sep, value = tag.partition(":")
+        if sep and prefix not in self._tag_index:
+            self._tag_index[prefix] = value
 
     def add_tag(self, tag: str) -> None:
-        if tag not in self.tags:
+        if tag not in self._tag_set:
+            self._tag_set.add(tag)
             self.tags.append(tag)
+            self._index_tag(tag)
 
     def has_tag(self, tag: str) -> bool:
-        return tag in self.tags
+        return tag in self._tag_set
 
     def tag_value(self, prefix: str) -> str | None:
         """Value of the first ``prefix:value`` tag, if any.
@@ -39,11 +64,15 @@ class LogRecord:
         Process context is encoded Logstash-style as prefixed tags, e.g.
         ``step:update_launch_configuration`` or ``conformance:fit``.
         """
-        needle = prefix + ":"
-        for tag in self.tags:
-            if tag.startswith(needle):
-                return tag[len(needle):]
-        return None
+        if ":" in prefix:
+            # Compound prefixes split differently from the index keys;
+            # fall back to the (rare) linear scan.
+            needle = prefix + ":"
+            for tag in self.tags:
+                if tag.startswith(needle):
+                    return tag[len(needle):]
+            return None
+        return self._tag_index.get(prefix)
 
     def to_logstash(self) -> dict:
         """Render in the @-prefixed Logstash JSON shape from §IV."""

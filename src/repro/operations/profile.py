@@ -11,6 +11,7 @@ type, not just the rolling upgrade.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import typing as _t
 
 from repro.logsys.annotator import AssertionAnnotator
@@ -78,3 +79,18 @@ def rolling_upgrade_profile() -> OperationProfile:
                          steps.TERMINATE, steps.READY),
         watchdog_assertions=tuple(ru.WATCHDOG_ASSERTIONS),
     )
+
+
+@functools.lru_cache(maxsize=1)
+def shared_rolling_upgrade_profile() -> OperationProfile:
+    """Process-wide warm copy of the rolling-upgrade profile.
+
+    The profile bundle is heavyweight (pattern regexes compile, the
+    prefilter plan is derived, the model graph is built) yet immutable
+    during runs: classification memoises onto records, token replay copies
+    its marking per :class:`~repro.process.instance.ProcessInstance`, and
+    bindings come from a per-processor factory.  Campaign runs therefore
+    share one copy per process instead of rebuilding it per testbed —
+    the per-worker "warm state" half of the parallel-campaign speedup.
+    """
+    return rolling_upgrade_profile()

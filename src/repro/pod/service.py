@@ -16,8 +16,8 @@ from repro.assertions.consistent_api import ConsistentApiClient, RetryBudget
 from repro.assertions.evaluation import AssertionEvaluationService
 from repro.assertions.library import standard_rolling_upgrade_assertions
 from repro.diagnosis.engine import DiagnosisEngine
-from repro.diagnosis.tests import build_standard_probes
-from repro.faulttree.library import build_standard_fault_trees
+from repro.diagnosis.tests import shared_standard_probes
+from repro.faulttree.library import shared_standard_fault_trees
 from repro.logsys.annotator import ProcessAnnotator
 from repro.logsys.central import CentralLogProcessor
 from repro.logsys.filters import NoiseFilter
@@ -76,9 +76,12 @@ class PODDiagnosis:
         self.engine = engine
         self.storage = CentralLogStorage()
         if profile is None:
-            from repro.operations.profile import rolling_upgrade_profile
+            # Warm shared copy: the profile bundle (compiled pattern
+            # library, process model, bindings factory) is immutable
+            # during runs, so every service in this process reuses one.
+            from repro.operations.profile import shared_rolling_upgrade_profile
 
-            profile = rolling_upgrade_profile()
+            profile = shared_rolling_upgrade_profile()
         self.profile = profile
         self.library = profile.library
         self.model = model or profile.model
@@ -129,9 +132,11 @@ class PODDiagnosis:
         )
         self.assertions.register_all(registry)
 
-        # Error diagnosis (fault trees + probes).
-        self.trees = build_standard_fault_trees()
-        self.probes = build_standard_probes()
+        # Error diagnosis (fault trees + probes).  Shared warm copies:
+        # diagnosis instantiates per-request tree copies and probes are
+        # stateless, so the registries are safe to reuse process-wide.
+        self.trees = shared_standard_fault_trees()
+        self.probes = shared_standard_probes()
         self.diagnosis = DiagnosisEngine(
             engine,
             self.trees,
@@ -177,9 +182,13 @@ class PODDiagnosis:
 
     def watch(self, stream: LogStream, trace_id: str) -> LocalLogProcessor:
         """Attach a local log processor to one operation node's log."""
-        annotator = ProcessAnnotator(self.library, self.model.model_id, trace_id)
+        annotator = ProcessAnnotator(
+            self.library, self.model.model_id, trace_id, obs=self.obs
+        )
         processor = LocalLogProcessor(
-            noise_filter=NoiseFilter(self.library, passthrough_unmatched=True),
+            noise_filter=NoiseFilter(
+                self.library, passthrough_unmatched=True, obs=self.obs
+            ),
             process_annotator=annotator,
             assertion_annotator=self.profile.bindings_factory(),
             trigger=Trigger(

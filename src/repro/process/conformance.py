@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
-from repro.logsys.patterns import PatternLibrary
+from repro.logsys.patterns import PatternLibrary, classify_record
 from repro.logsys.record import LogRecord
 from repro.process.context import ProcessContext
 from repro.process.instance import ProcessInstance
@@ -100,7 +100,9 @@ class ConformanceChecker:
         self.check_count += 1
         trace_id = record.tag_value("trace") or "unknown"
         instance = self.instance_for(trace_id)
-        classification = self.library.classify(record.message)
+        # Classify-once: pipeline-fed records arrive already classified by
+        # the noise filter / annotator; only direct callers pay the scan.
+        classification = classify_record(self.library, record, self._metrics)
         context = ProcessContext.from_record(record)
         context.last_valid_activity = instance.last_fit_activity()
 

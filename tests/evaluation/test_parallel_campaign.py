@@ -21,10 +21,14 @@ from repro.evaluation.campaign import (
 )
 from repro.evaluation.metrics import compute_metrics
 from repro.evaluation.parallel import (
+    CHUNKS_PER_WORKER,
     ParallelCampaign,
+    chunk_size_for,
+    execute_chunk,
     execute_run,
     execute_specs,
     resolve_workers,
+    warm_worker,
 )
 from repro.operations.interference import InterferencePlan
 
@@ -110,7 +114,13 @@ class TestTracedDeterminism:
         assert parallel_metrics == serial_metrics
         for outcome in serial:
             assert outcome.trace, "traced run exported no spans"
-            assert outcome.metrics["counters"], "traced run has no counters"
+            counters = outcome.metrics["counters"]
+            assert counters, "traced run has no counters"
+            # Classify-once reuse and the diagnosis memo cache are both
+            # visible in every traced run (hits may legitimately be 0).
+            assert counters["classify.memo.hits"] > 0
+            assert counters["classify.memo.misses"] > 0
+            assert "diagnosis.cache.misses" in counters
 
     @pytest.mark.slow
     def test_traced_full_fault_mix_identical(self):
@@ -269,6 +279,73 @@ class TestPicklability:
             for field in dataclasses.fields(cls):
                 if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
                     pickle.dumps(field.default_factory())
+
+
+class TestChunking:
+    """Chunked submission is a transport detail: outcomes must be
+    identical at every chunk size, including degenerate ones."""
+
+    def _specs(self):
+        return Campaign(SMALL_CONFIG).build_specs()
+
+    def test_chunk_size_invisible_in_outcomes(self):
+        specs = self._specs()
+        serial = execute_specs(specs, max_workers=None)
+        for chunk_size in (1, 2, len(specs), len(specs) * 3):
+            chunked = execute_specs(specs, max_workers=2, chunk_size=chunk_size)
+            assert chunked == serial, f"chunk_size={chunk_size} changed outcomes"
+
+    def test_default_chunk_sizing(self):
+        assert chunk_size_for(32, workers=4) == 32 // (4 * CHUNKS_PER_WORKER)
+        assert chunk_size_for(3, workers=8) == 1  # never zero
+        assert chunk_size_for(100, workers=2, chunk_size=7) == 7
+        assert chunk_size_for(100, workers=2, chunk_size=0) == 1  # clamped
+
+    def test_execute_chunk_preserves_spec_order(self):
+        specs = self._specs()[:3]
+        outcomes = execute_chunk(specs)
+        assert [o.spec.run_id for o in outcomes] == [s.run_id for s in specs]
+
+    def test_chunked_crash_isolation(self):
+        # A runner crash inside a chunk fails that run only, not the chunk.
+        specs = self._specs()
+        outcomes = execute_specs(
+            specs, max_workers=2, chunk_size=3, runner=_explode_on_second
+        )
+        failed = [o.spec.run_id for o in outcomes if o.failed]
+        assert failed == [s.run_id for s in specs if s.run_id.endswith("-02")]
+
+    def test_chunked_progress_reports_every_run_once(self):
+        specs = self._specs()
+        seen = []
+        execute_specs(
+            specs,
+            max_workers=2,
+            chunk_size=2,
+            progress=lambda done, total, o: seen.append((done, o.spec.run_id)),
+        )
+        assert [done for done, _r in seen] == list(range(1, len(specs) + 1))
+        assert sorted(r for _d, r in seen) == sorted(s.run_id for s in specs)
+
+    def test_warm_worker_is_idempotent_and_primes_caches(self):
+        from repro.faulttree.library import shared_standard_fault_trees
+        from repro.operations.profile import shared_rolling_upgrade_profile
+
+        warm_worker()
+        profile = shared_rolling_upgrade_profile()
+        trees = shared_standard_fault_trees()
+        warm_worker()
+        # lru_cache(1): the warm objects are process-wide singletons.
+        assert shared_rolling_upgrade_profile() is profile
+        assert shared_standard_fault_trees() is trees
+
+    def test_shared_registries_are_not_mutated_by_runs(self):
+        from repro.faulttree.library import shared_standard_fault_trees
+
+        trees = shared_standard_fault_trees()
+        before = {tree_id: info["nodes"] for tree_id, info in trees.stats().items()}
+        execute_specs(self._specs()[:2], max_workers=None)
+        assert {t: i["nodes"] for t, i in trees.stats().items()} == before
 
 
 class TestResolveWorkers:

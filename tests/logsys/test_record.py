@@ -20,6 +20,37 @@ class TestLogRecord:
         assert record.tag_value("trace") == "t1"
         assert record.tag_value("ghost") is None
 
+    def test_tag_value_sees_tags_added_later(self):
+        record = LogRecord(time=0, source="s", message="m")
+        assert record.tag_value("step") is None
+        record.add_tag("step:ready")
+        assert record.tag_value("step") == "ready"
+
+    def test_tag_value_first_wins_for_duplicate_keys(self):
+        record = LogRecord(time=0, source="s", message="m", tags=["step:first"])
+        record.add_tag("step:second")
+        assert record.tag_value("step") == "first"
+        assert record.tags == ["step:first", "step:second"]
+
+    def test_tag_value_prefix_containing_colon(self):
+        # Prefixes that themselves contain ":" cannot use the key index;
+        # the linear fallback must still find them.
+        record = LogRecord(time=0, source="s", message="m", tags=["a:b:c"])
+        assert record.tag_value("a") == "b:c"
+        assert record.tag_value("a:b") == "c"
+
+    def test_valueless_tag_is_not_a_key(self):
+        record = LogRecord(time=0, source="s", message="m", tags=["operation-log"])
+        assert record.has_tag("operation-log")
+        assert record.tag_value("operation-log") is None
+
+    def test_tag_order_preserved_with_index(self):
+        record = LogRecord(time=0, source="s", message="m")
+        for tag in ("z:1", "a:2", "m:3"):
+            record.add_tag(tag)
+        assert record.tags == ["z:1", "a:2", "m:3"]
+        assert record.tag_value("a") == "2"
+
     def test_to_logstash_shape(self):
         record = LogRecord(
             time=1.0,
