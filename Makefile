@@ -23,9 +23,10 @@ test:
 	python -m pytest -x -q
 
 # Hot-path benchmarks + regression gate: compares the gated *ratio*
-# metrics (classify-once speedup, prefilter speedup, parallel speedup)
-# against the committed BENCH_*.json baselines before rewriting them.
-# Commit the rewritten artifacts to refresh the baseline.
+# metrics (classify-once speedup, prefilter speedup, parallel speedup,
+# chunking gain, cloud stale-read speedup, monitor tick ratio/speedup,
+# snapshot sharing) against the committed BENCH_*.json baselines before
+# rewriting them.  Commit the rewritten artifacts to refresh the baseline.
 bench:
 	python -m repro bench --baseline benchmarks --tolerance 0.25 --out benchmarks
 

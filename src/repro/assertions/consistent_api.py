@@ -390,7 +390,13 @@ class ConsistentApiClient:
                 # non-retryable errors (validation, limits, ...) are real
                 # answers and propagate from `call` directly.
                 result = exc
-            if not isinstance(result, CloudError) and predicate(result):
+            if result is not None and result is last_result:
+                # The data plane served the *same* frozen view again (a
+                # repeated stale read).  Views are immutable and
+                # predicates pure, so the predicate verdict cannot have
+                # changed — skip re-evaluating it.
+                self._count("client.predicate_memo_hits")
+            elif not isinstance(result, CloudError) and predicate(result):
                 return result
             last_result = result
             attempt += 1

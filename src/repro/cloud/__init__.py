@@ -43,8 +43,9 @@ from repro.cloud.errors import (
     Throttling,
 )
 from repro.cloud.faults import FaultInjector
+from repro.cloud.freeze import FrozenList, FrozenMutationError, FrozenView, freeze, thaw
 from repro.cloud.limits import AccountLimits
-from repro.cloud.monitor import CloudMonitor
+from repro.cloud.monitor import CloudMonitor, RegionSnapshot
 from repro.cloud.resources import (
     AmiImage,
     AutoScalingGroup,
@@ -82,7 +83,13 @@ __all__ = [
     "DependencyViolation",
     "EventuallyConsistentView",
     "FaultInjector",
+    "FrozenList",
+    "FrozenMutationError",
+    "FrozenView",
+    "freeze",
+    "thaw",
     "Instance",
+    "RegionSnapshot",
     "InstanceState",
     "KeyPair",
     "LaunchConfiguration",

@@ -106,7 +106,11 @@ class CloudAPI:
         return result
 
     def _read(self, kind: str, identifier: str, consistent: bool) -> dict:
-        """Describe one resource, honouring eventual consistency."""
+        """Describe one resource, honouring eventual consistency.
+
+        Returns the shared frozen view — read-only; callers needing a
+        mutable dict use ``view.thaw()``.
+        """
         if consistent:
             view = self.view.read_consistent(kind, identifier)
         else:

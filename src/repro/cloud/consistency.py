@@ -49,10 +49,24 @@ class EventuallyConsistentView:
         self.model = model or ConsistencyModel()
 
     def read(self, kind: str, identifier: str) -> dict | None:
-        """Possibly-stale describe of one resource (None = not visible)."""
+        """Possibly-stale describe of one resource (None = not visible).
+
+        Returns the frozen history view directly — no copy.  Counts the
+        read as ``cloud.reads.stale`` when the sampled lag pushed the
+        effective read time behind the resource's last write (even if the
+        served value happens to equal the latest — staleness is about
+        *which* write answered), and ``cloud.reads.fresh`` otherwise.
+        """
         as_of = max(0.0, self.clock.now() - self.model.sample_lag())
-        return self.state.view_at(kind, identifier, as_of)
+        view = self.state.view_at(kind, identifier, as_of)
+        last_write = self.state.last_write_at(kind, identifier)
+        if last_write is not None and last_write > as_of:
+            self.state._count("cloud.reads.stale")
+        else:
+            self.state._count("cloud.reads.fresh")
+        return view
 
     def read_consistent(self, kind: str, identifier: str) -> dict | None:
         """Strongly consistent describe — what a retry loop converges to."""
+        self.state._count("cloud.reads.fresh")
         return self.state.view_at(kind, identifier, self.clock.now())

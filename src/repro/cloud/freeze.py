@@ -1,0 +1,202 @@
+"""Copy-on-write snapshot primitives for the cloud data plane.
+
+The seed stored region history with ``copy.deepcopy`` at three hot sites:
+every mutation deep-copied its ``describe()`` dict *into* history, every
+eventually-consistent read deep-copied it back *out*, and the Edda-style
+monitor deep-copied the entire region on every poll tick.  The paper's
+§IV consistency layer (``call_until`` polling) hammers exactly those
+paths, so the deep copies dominated campaign time once pattern matching
+became cheap.
+
+This module replaces them with structurally shared, immutable views:
+
+- :class:`FrozenView` — a read-only ``dict`` subclass.  Every mutating
+  method raises :class:`FrozenMutationError`; readers use it exactly like
+  the plain describe-dict it replaces (equality, iteration, ``json.dump``
+  and pickling all behave identically).
+- :class:`FrozenList` — the matching read-only ``list`` subclass, used
+  for nested sequences (``SecurityGroups``, ``Instances``, ...).  Unlike
+  a tuple it still compares equal to plain lists, so no caller notices.
+- :func:`freeze` — recursively convert a describe-dict into frozen form,
+  optionally *interning* sub-structures so identical values (the
+  ``{"Name": "running"}`` state dicts, unchanged security-group lists,
+  repeated instance wrappers) are one shared object region-wide.
+- :func:`thaw` — the explicit escape hatch: a deep, mutable copy for the
+  rare caller that genuinely needs to edit a view.
+
+The contract: anything handed out as a snapshot/stale read is frozen and
+shared by reference; mutation attempts fail loudly instead of silently
+corrupting history; callers that need a scratch dict call ``thaw()``.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+__all__ = [
+    "FrozenList",
+    "FrozenMutationError",
+    "FrozenView",
+    "freeze",
+    "thaw",
+]
+
+
+class FrozenMutationError(TypeError):
+    """Raised on any attempt to mutate a frozen view.
+
+    A ``TypeError`` subclass so generic "is this mutable?" probes keep
+    working, with a message that points at :func:`thaw`.
+    """
+
+
+def _blocked(name: str):
+    def method(self, *args, **kwargs):
+        raise FrozenMutationError(
+            f"{type(self).__name__} is an immutable snapshot view; "
+            f"{name}() would corrupt shared history — call thaw() for a mutable copy"
+        )
+
+    method.__name__ = name
+    return method
+
+
+class FrozenView(dict):
+    """Read-only mapping over a resource's described form.
+
+    Construction goes through ``dict.__init__`` (which bypasses the
+    blocked ``__setitem__``), after which the view is sealed.  Hashable —
+    by its item set — so views can be interned and used as cache keys.
+    """
+
+    __slots__ = ("_cached_hash",)
+
+    __setitem__ = _blocked("__setitem__")
+    __delitem__ = _blocked("__delitem__")
+    __ior__ = _blocked("__ior__")
+    clear = _blocked("clear")
+    pop = _blocked("pop")
+    popitem = _blocked("popitem")
+    setdefault = _blocked("setdefault")
+    update = _blocked("update")
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        try:
+            return self._cached_hash
+        except AttributeError:
+            value = hash(frozenset(dict.items(self)))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    def thaw(self) -> dict:
+        """A deep, mutable copy — the explicit opt-out from sharing."""
+        return thaw(self)
+
+    def __reduce__(self):
+        # Default dict-subclass pickling replays items through the
+        # (blocked) __setitem__; rebuild through the constructor instead.
+        return (type(self), (dict(self),))
+
+    def __repr__(self) -> str:
+        return f"FrozenView({dict.__repr__(self)})"
+
+
+class FrozenList(list):
+    """Read-only sequence that still compares equal to plain lists."""
+
+    __slots__ = ("_cached_hash",)
+
+    __setitem__ = _blocked("__setitem__")
+    __delitem__ = _blocked("__delitem__")
+    __iadd__ = _blocked("__iadd__")
+    __imul__ = _blocked("__imul__")
+    append = _blocked("append")
+    extend = _blocked("extend")
+    insert = _blocked("insert")
+    remove = _blocked("remove")
+    clear = _blocked("clear")
+    sort = _blocked("sort")
+    reverse = _blocked("reverse")
+
+    # list.pop mutates; block it (dict.pop blocked above for symmetry).
+    pop = _blocked("pop")
+
+    def __hash__(self) -> int:  # type: ignore[override]
+        try:
+            return self._cached_hash
+        except AttributeError:
+            value = hash(tuple(self))
+            object.__setattr__(self, "_cached_hash", value)
+            return value
+
+    def thaw(self) -> list:
+        return thaw(self)
+
+    def __reduce__(self):
+        return (type(self), (list(self),))
+
+    def __repr__(self) -> str:
+        return f"FrozenList({list.__repr__(self)})"
+
+
+def _intern(value, intern: dict | None, count: _t.Callable[[str], None] | None):
+    if intern is None:
+        if count is not None:
+            count("cloud.snapshot.copied")
+        return value
+    try:
+        existing = intern.get(value)
+    except TypeError:
+        # Unhashable leaf slipped in; keep the fresh copy, uninterned.
+        if count is not None:
+            count("cloud.snapshot.copied")
+        return value
+    if existing is not None:
+        if count is not None:
+            count("cloud.snapshot.shared")
+        return existing
+    intern[value] = value
+    if count is not None:
+        count("cloud.snapshot.copied")
+    return value
+
+
+def freeze(
+    value: _t.Any,
+    intern: dict | None = None,
+    count: _t.Callable[[str], None] | None = None,
+) -> _t.Any:
+    """Recursively convert ``value`` into its frozen, shareable form.
+
+    ``intern`` (a plain dict used as an identity pool) makes equal
+    sub-structures one shared object; ``count`` receives
+    ``cloud.snapshot.shared`` / ``cloud.snapshot.copied`` per structure so
+    the sharing ratio is observable.  Scalars pass through untouched;
+    already-frozen values are returned as-is (freeze is idempotent).
+    """
+    if isinstance(value, (FrozenView, FrozenList)):
+        return value
+    if isinstance(value, dict):
+        frozen = FrozenView(
+            (key, freeze(item, intern, count)) for key, item in value.items()
+        )
+        return _intern(frozen, intern, count)
+    if isinstance(value, (list, tuple)):
+        frozen = FrozenList(freeze(item, intern, count) for item in value)
+        return _intern(frozen, intern, count)
+    if isinstance(value, (set, frozenset)):
+        return frozenset(freeze(item, intern, count) for item in value)
+    return value
+
+
+def thaw(value: _t.Any) -> _t.Any:
+    """Deep, mutable copy of a (possibly frozen) structure.
+
+    The inverse of :func:`freeze`: frozen views become plain dicts, frozen
+    lists plain lists, recursively.  Safe on plain structures too.
+    """
+    if isinstance(value, dict):
+        return {key: thaw(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [thaw(item) for item in value]
+    return value

@@ -26,7 +26,7 @@ class InstanceState(str, enum.Enum):
         return self in (InstanceState.PENDING, InstanceState.RUNNING)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class AmiImage:
     """A machine image; the unit of 'version' in a rolling upgrade."""
 
@@ -44,7 +44,7 @@ class AmiImage:
         }
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SecurityGroup:
     """A named firewall ruleset; assertions verify the ASG references the
     right one (fault type 3) and that it still exists (fault type 7)."""
@@ -59,11 +59,11 @@ class SecurityGroup:
             "GroupId": self.group_id,
             "GroupName": self.group_name,
             "Description": self.description,
-            "IpPermissions": list(self.ingress_rules),
+            "IpPermissions": [dict(rule) for rule in self.ingress_rules],
         }
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class KeyPair:
     """An SSH key pair (fault types 2 and 6)."""
 
@@ -74,7 +74,7 @@ class KeyPair:
         return {"KeyName": self.key_name, "KeyFingerprint": self.fingerprint}
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class LaunchConfiguration:
     """Template from which the ASG launches instances.
 
@@ -101,7 +101,7 @@ class LaunchConfiguration:
         }
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class Instance:
     """A virtual machine instance."""
 
@@ -130,7 +130,7 @@ class Instance:
         }
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class LoadBalancer:
     """An ELB: the cluster's point of contact for incoming traffic."""
 
@@ -146,7 +146,7 @@ class LoadBalancer:
         }
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class AutoScalingGroup:
     """The ASG that owns the application's instance fleet.
 

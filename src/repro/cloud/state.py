@@ -5,15 +5,25 @@ mutation also appends a timestamped snapshot to the resource's history;
 the eventual-consistency layer serves *reads* from that history, possibly
 lagging behind the latest write — exactly the behaviour that forced the
 paper to build a "consistent AWS API layer" with retries (§IV).
+
+History is copy-on-write: each snapshot is a :class:`~repro.cloud.freeze.FrozenView`
+appended *by reference*, with sub-structures interned so identical values
+(state dicts, unchanged security-group lists) are one shared object
+region-wide.  ``view_at`` returns the frozen view directly — a stale read
+costs one bisect and zero copying — and callers that need a scratch dict
+use :func:`~repro.cloud.freeze.thaw`.  A region-wide write log (consumed
+by the Edda-style monitor) makes per-tick snapshot work proportional to
+writes instead of region size.
 """
 
 from __future__ import annotations
 
-import copy
 import itertools
 import typing as _t
+from bisect import bisect_right
 
 from repro.cloud.errors import ResourceNotFound
+from repro.cloud.freeze import FrozenView, freeze, thaw
 from repro.cloud.limits import AccountLimits, RateLimiter
 from repro.cloud.resources import (
     AmiImage,
@@ -51,12 +61,39 @@ class CloudState:
         self.instances: dict[str, Instance] = {}
         self.load_balancers: dict[str, LoadBalancer] = {}
         self.auto_scaling_groups: dict[str, AutoScalingGroup] = {}
-        #: (kind, id) -> list of (write_time, describe-dict or None=deleted)
-        self._history: dict[tuple[str, str], list[tuple[float, dict | None]]] = {}
+        #: (kind, id) -> parallel (write_times, frozen views) arrays; a
+        #: ``None`` view is a tombstone.  Parallel arrays keep ``view_at``
+        #: a single bisect over a flat float list.
+        self._history: dict[tuple[str, str], tuple[list[float], list[FrozenView | None]]] = {}
+        #: Intern pool: equal frozen sub-structures resolve to one object.
+        self._intern: dict = {}
+        #: Append-only (kind, id) write log; the monitor's delta source.
+        self._write_log: list[tuple[str, str]] = []
+        #: Data-plane counters (always on — they are two dict increments
+        #: per write/read): snapshot sharing and stale/fresh read mix.
+        self.data_plane_counters: dict[str, int] = {}
+        #: Optional obs MetricsRegistry mirror (attached by the testbed).
+        self._metrics = None
         #: Scaling activities appended by the ASG controller; read through
         #: the API's DescribeScalingActivities.
         self.scaling_activities: list = []
         self._id_counters = {kind: itertools.count(1) for kind in KINDS}
+
+    def attach_obs(self, obs) -> None:
+        """Mirror data-plane counters into an observability registry."""
+        self._metrics = obs.metrics if obs is not None and obs.enabled else None
+
+    def _count(self, name: str) -> None:
+        self.data_plane_counters[name] = self.data_plane_counters.get(name, 0) + 1
+        if self._metrics is not None:
+            self._metrics.inc(name)
+
+    def _count_many(self, name: str, amount: int) -> None:
+        if amount <= 0:
+            return
+        self.data_plane_counters[name] = self.data_plane_counters.get(name, 0) + amount
+        if self._metrics is not None:
+            self._metrics.inc(name, amount)
 
     # -- registries ------------------------------------------------------
 
@@ -106,35 +143,82 @@ class CloudState:
         if identifier not in registry:
             raise ResourceNotFound.of(kind, identifier)
         del registry[identifier]
-        self._history.setdefault((kind, identifier), []).append((now, None))
+        self._append_history(kind, identifier, now, None)
 
     def record_write(self, kind: str, identifier: str, now: float) -> None:
         """Snapshot a resource's current described form into its history.
 
         Call after any in-place mutation so eventually-consistent readers
-        observe the change only once their lag elapses.
+        observe the change only once their lag elapses.  The snapshot is
+        frozen once and appended by reference — no deep copy, and equal
+        sub-structures are interned across the whole region.
         """
         resource = self._registry(kind).get(identifier)
-        snapshot = copy.deepcopy(resource.describe()) if resource is not None else None
-        self._history.setdefault((kind, identifier), []).append((now, snapshot))
+        snapshot = (
+            freeze(resource.describe(), self._intern, self._count)
+            if resource is not None
+            else None
+        )
+        self._append_history(kind, identifier, now, snapshot)
 
-    def history(self, kind: str, identifier: str) -> list[tuple[float, dict | None]]:
-        return list(self._history.get((kind, identifier), []))
+    def _append_history(
+        self, kind: str, identifier: str, now: float, snapshot: FrozenView | None
+    ) -> None:
+        key = (kind, identifier)
+        entry = self._history.get(key)
+        if entry is None:
+            entry = self._history[key] = ([], [])
+        entry[0].append(now)
+        entry[1].append(snapshot)
+        self._write_log.append(key)
 
-    def view_at(self, kind: str, identifier: str, as_of: float) -> dict | None:
+    def history(self, kind: str, identifier: str) -> list[tuple[float, FrozenView | None]]:
+        times, views = self._history.get((kind, identifier), ((), ()))
+        return list(zip(times, views))
+
+    def view_at(self, kind: str, identifier: str, as_of: float) -> FrozenView | None:
         """The resource's described form as of ``as_of`` (None = absent).
 
         A resource never written before ``as_of`` is absent; a tombstone
         makes it absent again.  This is the primitive the consistency
-        layer builds stale reads on.
+        layer builds stale reads on.  Returns the frozen history view
+        itself — zero copying; mutate through ``thaw()`` only.
         """
-        snapshot: dict | None = None
-        for write_time, view in self._history.get((kind, identifier), []):
-            if write_time <= as_of:
-                snapshot = view
-            else:
-                break
-        return copy.deepcopy(snapshot) if snapshot is not None else None
+        entry = self._history.get((kind, identifier))
+        if entry is None:
+            return None
+        times, views = entry
+        index = bisect_right(times, as_of) - 1
+        return views[index] if index >= 0 else None
+
+    def latest_view(self, kind: str, identifier: str) -> FrozenView | None:
+        """The most recent history snapshot (None = absent/tombstoned).
+
+        Every mutation path records a write in the same virtual instant,
+        so this always equals a live ``describe()`` — without allocating
+        one.
+        """
+        entry = self._history.get((kind, identifier))
+        if entry is None:
+            return None
+        return entry[1][-1]
+
+    def last_write_at(self, kind: str, identifier: str) -> float | None:
+        """Time of the most recent write (including tombstones), if any."""
+        entry = self._history.get((kind, identifier))
+        if entry is None:
+            return None
+        return entry[0][-1]
+
+    # -- write log (monitor delta source) ---------------------------------
+
+    def write_seq(self) -> int:
+        """Monotone position in the region-wide write log."""
+        return len(self._write_log)
+
+    def writes_since(self, position: int) -> list[tuple[str, str]]:
+        """(kind, id) pairs written at or after log ``position``."""
+        return self._write_log[position:]
 
     # -- aggregates ------------------------------------------------------
 
@@ -153,6 +237,16 @@ class CloudState:
         return f"CloudState({self.region}: {counts})"
 
 
-def snapshot_of(resources: _t.Iterable) -> list[dict]:
-    """Describe a collection of resources (helper for monitors)."""
-    return [r.describe() for r in resources]
+def snapshot_of(resources: _t.Iterable) -> list[FrozenView]:
+    """Describe a collection of resources as frozen views.
+
+    The seed returned live ``describe()`` dicts whose nested structures
+    (e.g. a security group's ingress-rule dicts) aliased authoritative
+    state — a caller mutating its "snapshot" silently corrupted the
+    region.  Frozen views make that impossible; callers needing a mutable
+    copy use :func:`~repro.cloud.freeze.thaw`.
+    """
+    return [freeze(r.describe()) for r in resources]
+
+
+__all__ = ["KINDS", "CloudState", "FrozenView", "freeze", "snapshot_of", "thaw"]

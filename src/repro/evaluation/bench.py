@@ -1,6 +1,6 @@
 """Benchmark-regression harness: ``make bench`` / ``python -m repro bench``.
 
-Three benchmarks cover the pipeline's hot paths:
+Four benchmarks cover the pipeline's hot paths:
 
 - **matching** — pattern-classification throughput over a synthetic but
   realistic log corpus: the seed path (four naive linear scans per line,
@@ -10,7 +10,11 @@ Three benchmarks cover the pipeline's hot paths:
 - **conformance** — token-replay check latency over annotated records
   (the paper's "responded on average in about 10ms" path);
 - **campaign** — fault-injection campaign runs/sec, serial and across a
-  warm chunked worker pool.
+  warm chunked worker pool;
+- **cloud** — the copy-on-write data plane: stale reads served from
+  frozen history views vs the seed's linear-scan-plus-deepcopy path, and
+  delta-encoded monitor ticks vs full-region deep copies (per-tick cost
+  must stay proportional to writes, not region size).
 
 Each benchmark produces a ``BENCH_<name>.json`` artifact:
 ``{"name", "metrics", "gate"}`` where ``gate`` names the metrics the
@@ -304,6 +308,180 @@ def bench_campaign(
     }
 
 
+# -- cloud data plane ---------------------------------------------------------
+
+
+class _TickClock:
+    """Minimal engine stand-in for direct ``take_snapshot`` calls."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+
+def _build_region(size: int, seed: int):
+    from repro.cloud.resources import Instance, InstanceState
+    from repro.cloud.state import CloudState
+
+    state = CloudState()
+    rng = random.Random(seed)
+    for index in range(size):
+        instance = Instance(
+            instance_id=f"i-{index:08x}",
+            image_id=f"ami-{rng.randrange(4):08x}",
+            instance_type="m1.small",
+            key_name="key-prod",
+            security_groups=["sg-web"],
+            state=InstanceState.RUNNING,
+            asg_name="asg-dsn",
+        )
+        state.put("instance", instance.instance_id, instance, now=0.0)
+    return state
+
+
+def bench_cloud(
+    history_writes: int = 400,
+    reads: int = 2000,
+    region_small: int = 64,
+    region_large: int = 512,
+    ticks: int = 64,
+    writes_per_tick: int = 8,
+    repeat: int = 3,
+    seed: int = 5,
+) -> dict:
+    """Copy-on-write data plane vs the seed's deep-copy strategy.
+
+    Two hot paths, both gated on machine-relative ratios:
+
+    - *stale reads*: ``view_at`` over a deep per-resource history (bisect,
+      return the frozen view by reference) against the seed's linear scan
+      plus ``copy.deepcopy`` of the answer;
+    - *monitor ticks*: delta-encoded region snapshots driven by the write
+      log against full-region deep copies.  ``monitor_tick_ratio`` (large
+      region time / small region time at a fixed write rate) is the
+      sublinearity gate — a monitor that scales with region size instead
+      of writes drags the ratio toward ``region_large/region_small``.
+
+    ``snapshot_shared_fraction`` is deterministic (no timing): of all
+    structures frozen while building + mutating the large region, the
+    fraction resolved to an already-interned object.
+    """
+    import copy as _copy
+
+    from repro.cloud.monitor import CloudMonitor
+    from repro.cloud.resources import AmiImage
+    from repro.cloud.state import CloudState
+
+    # -- stale-read setup: one resource, deep write history --------------
+    state = CloudState()
+    image = AmiImage(image_id="ami-1", name="app", version="v0")
+    state.put("ami", "ami-1", image, now=0.0)
+    for write in range(1, history_writes):
+        image.version = f"v{write}"
+        state.record_write("ami", "ami-1", now=float(write))
+    #: The seed's history representation: plain (time, deep dict) pairs.
+    plain_history = [(t, _copy.deepcopy(dict(v))) for t, v in state.history("ami", "ami-1")]
+    rng = random.Random(seed)
+    read_times = [rng.uniform(0.0, float(history_writes)) for _ in range(reads)]
+
+    def seed_reads() -> None:
+        for as_of in read_times:
+            answer = None
+            for t, snapshot in plain_history:
+                if t > as_of:
+                    break
+                answer = snapshot
+            _copy.deepcopy(answer)
+
+    def cow_reads() -> None:
+        for as_of in read_times:
+            state.view_at("ami", "ami-1", as_of)
+
+    # -- monitor-tick setup: fixed write rate, two region sizes ----------
+    def run_ticks(size: int, crawl: str) -> float:
+        region = _build_region(size, seed)
+        clock = _TickClock()
+        monitor = CloudMonitor(clock, region, retention=ticks + 8)
+        monitor.take_snapshot()  # warm full crawl outside the clock
+        instances = sorted(region.instances)
+        cursor = 0
+        started = time.perf_counter()
+        for tick in range(ticks):
+            clock.now = float(tick + 1)
+            for _ in range(writes_per_tick):
+                identifier = instances[cursor % len(instances)]
+                cursor += 1
+                resource = region.instances[identifier]
+                resource.instance_type = (
+                    "m1.large" if resource.instance_type == "m1.small" else "m1.small"
+                )
+                region.record_write("instance", identifier, clock.now)
+            if crawl == "delta":
+                monitor.take_snapshot()
+            else:  # the seed's strategy: deep-copy the whole region
+                {
+                    kind: {
+                        identifier: _copy.deepcopy(resource.describe())
+                        for identifier, resource in region._registry(kind).items()
+                    }
+                    for kind in ("instance",)
+                }
+        return time.perf_counter() - started
+
+    times = {
+        "seed_reads": float("inf"),
+        "cow_reads": float("inf"),
+        "delta_small": float("inf"),
+        "delta_large": float("inf"),
+        "full_large": float("inf"),
+    }
+    for _ in range(max(1, repeat)):
+        times["seed_reads"] = min(times["seed_reads"], _timed(seed_reads))
+        times["cow_reads"] = min(times["cow_reads"], _timed(cow_reads))
+        times["delta_small"] = min(times["delta_small"], run_ticks(region_small, "delta"))
+        times["delta_large"] = min(times["delta_large"], run_ticks(region_large, "delta"))
+        times["full_large"] = min(times["full_large"], run_ticks(region_large, "full"))
+
+    # Deterministic sharing ratio from the data-plane counters of one
+    # freshly built + mutated large region (rebuilt so repeats don't skew).
+    shared_state = _build_region(region_large, seed)
+    for write in range(ticks * writes_per_tick):
+        identifier = f"i-{write % region_large:08x}"
+        resource = shared_state.instances[identifier]
+        resource.instance_type = (
+            "m1.large" if resource.instance_type == "m1.small" else "m1.small"
+        )
+        shared_state.record_write("instance", identifier, float(write))
+    shared = shared_state.data_plane_counters.get("cloud.snapshot.shared", 0)
+    copied = shared_state.data_plane_counters.get("cloud.snapshot.copied", 0)
+
+    return {
+        "name": "cloud",
+        "metrics": {
+            "history_writes": history_writes,
+            "reads": reads,
+            "seed_stale_reads_per_sec": reads / times["seed_reads"],
+            "cow_stale_reads_per_sec": reads / times["cow_reads"],
+            "stale_read_speedup": times["seed_reads"] / times["cow_reads"],
+            "region_small": region_small,
+            "region_large": region_large,
+            "ticks": ticks,
+            "writes_per_tick": writes_per_tick,
+            "delta_tick_small_us": times["delta_small"] / ticks * 1e6,
+            "delta_tick_large_us": times["delta_large"] / ticks * 1e6,
+            "full_tick_large_us": times["full_large"] / ticks * 1e6,
+            "monitor_tick_ratio": times["delta_large"] / times["delta_small"],
+            "monitor_tick_speedup": times["full_large"] / times["delta_large"],
+            "snapshot_shared_fraction": shared / max(1, shared + copied),
+        },
+        "gate": {
+            "stale_read_speedup": HIGHER,
+            "monitor_tick_ratio": LOWER,
+            "monitor_tick_speedup": HIGHER,
+            "snapshot_shared_fraction": HIGHER,
+        },
+    }
+
+
 # -- harness ------------------------------------------------------------------
 
 
@@ -314,11 +492,20 @@ def run_benchmarks(quick: bool = False, workers: int = 4, seed: int = 2014) -> l
             bench_matching(lines=2000, repeat=2),
             bench_conformance(traces=80, repeat=2),
             bench_campaign(runs_per_fault=1, workers=workers, seed=seed, repeat=1),
+            bench_cloud(
+                history_writes=100,
+                reads=500,
+                region_small=32,
+                region_large=128,
+                ticks=16,
+                repeat=2,
+            ),
         ]
     return [
         bench_matching(),
         bench_conformance(),
         bench_campaign(runs_per_fault=4, workers=workers, seed=seed),
+        bench_cloud(),
     ]
 
 

@@ -374,6 +374,9 @@ def run_single(spec: RunSpec) -> RunOutcome:
     ]
     api_health = dict(testbed.pod.env.client.counters())
     api_health.update({f"chaos_{k}": v for k, v in testbed.chaos.counters.items()})
+    # Data-plane counters (stale/fresh read mix, snapshot sharing ratio,
+    # monitor delta reuse) ride along the same channel.
+    api_health.update(testbed.cloud.state.data_plane_counters)
     first = detections[0] if detections else None
     first_assertion = next((d for d in detections if d["kind"] == "assertion"), None)
     first_conformance = next((d for d in detections if d["kind"] == "conformance"), None)

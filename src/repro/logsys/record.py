@@ -13,9 +13,13 @@ import dataclasses
 import typing as _t
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class LogRecord:
-    """One log event flowing through the pipeline."""
+    """One log event flowing through the pipeline.
+
+    Slotted: a campaign allocates one record per log line per run, so
+    dropping the per-instance dict trims the ingest path's footprint.
+    """
 
     time: float
     source: str
@@ -33,6 +37,10 @@ class LogRecord:
     #: from equality and from the Logstash rendering.
     classification: _t.Any = dataclasses.field(default=None, repr=False, compare=False)
     classified_by: _t.Any = dataclasses.field(default=None, repr=False, compare=False)
+    #: Tag bookkeeping built in ``__post_init__`` — declared as fields so
+    #: ``slots=True`` reserves space for them.
+    _tag_set: set = dataclasses.field(init=False, repr=False, compare=False, default=None)
+    _tag_index: dict = dataclasses.field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         # Tags are read on the hot path (`tag_value("trace")` per

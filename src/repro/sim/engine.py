@@ -48,6 +48,8 @@ class Process(Event):
     other (``yield other_process``).
     """
 
+    __slots__ = ("_generator", "name", "_target")
+
     def __init__(self, engine: "Engine", generator: _t.Generator, name: str | None = None) -> None:
         super().__init__(engine)
         self._generator = generator
@@ -181,9 +183,14 @@ class Engine:
             def _stop(_event: Event) -> None:
                 raise StopSimulation
 
-            if sentinel.triggered:
-                # Already fired; drain its pending callbacks first.
-                pass
+            if sentinel.processed:
+                # Already dispatched: its callbacks ran and it will never
+                # be popped again, so a stop callback would never fire.
+                # Return its value immediately instead of draining the
+                # entire queue and relying on the post-loop check.
+                if not sentinel.ok:
+                    raise sentinel.value
+                return sentinel.value
             sentinel.callbacks.append(_stop)
             try:
                 while self._queue:

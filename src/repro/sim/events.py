@@ -25,7 +25,13 @@ class Event:
     Events move from *pending* to either *succeeded* (carrying a value) or
     *failed* (carrying an exception).  Callbacks registered before the
     trigger run when the engine pops the event from its queue.
+
+    Slotted: campaigns create millions of events (every timeout, API
+    call and retry allocates one), so skipping the per-instance dict is
+    a measurable allocation win on the hot path.
     """
+
+    __slots__ = ("engine", "callbacks", "_state", "_value", "processed")
 
     def __init__(self, engine: "Engine") -> None:
         self.engine = engine
@@ -77,6 +83,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed virtual delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value: _t.Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -97,6 +105,8 @@ class AnyOf(Event):
     Used by the timer subsystem to race a periodic timer against a
     cancellation event.
     """
+
+    __slots__ = ("events",)
 
     def __init__(self, engine: "Engine", events: _t.Sequence[Event]) -> None:
         super().__init__(engine)

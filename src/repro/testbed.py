@@ -78,6 +78,7 @@ class Testbed:
         # no engine events or RNG draws are added — seeded runs stay
         # bit-for-bit identical with tracing on or off.
         self.obs = Observability.for_engine(self.engine, enabled=trace)
+        self.cloud.attach_obs(self.obs)
         self.chaos = ChaosController(self.engine, chaos_profile, seed=seed + 71)
         self.stack = self._provision()
         self.cloud.start()

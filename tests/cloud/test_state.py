@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cloud.errors import ResourceNotFound
+from repro.cloud.freeze import FrozenMutationError
 from repro.cloud.limits import AccountLimits, RateLimiter
 from repro.cloud.resources import AmiImage, Instance, InstanceState
 from repro.cloud.state import CloudState
@@ -79,12 +80,28 @@ class TestHistory:
         assert state.view_at("ami", "ami-1", as_of=4.0) is not None
         assert state.view_at("ami", "ami-1", as_of=6.0) is None
 
-    def test_view_is_a_copy(self):
+    def test_view_is_immutable(self):
         state = CloudState()
         state.put("ami", "ami-1", make_image(), now=1.0)
         view = state.view_at("ami", "ami-1", as_of=2.0)
-        view["Version"] = "tampered"
+        with pytest.raises(FrozenMutationError):
+            view["Version"] = "tampered"
         assert state.view_at("ami", "ami-1", as_of=2.0)["Version"] == "v1"
+
+    def test_thaw_gives_detached_mutable_copy(self):
+        state = CloudState()
+        state.put("ami", "ami-1", make_image(), now=1.0)
+        scratch = state.view_at("ami", "ami-1", as_of=2.0).thaw()
+        scratch["Version"] = "tampered"
+        assert state.view_at("ami", "ami-1", as_of=2.0)["Version"] == "v1"
+
+    def test_views_shared_by_reference_across_reads(self):
+        state = CloudState()
+        state.put("ami", "ami-1", make_image(), now=1.0)
+        assert state.view_at("ami", "ami-1", as_of=2.0) is state.view_at(
+            "ami", "ami-1", as_of=3.0
+        )
+        assert state.view_at("ami", "ami-1", as_of=2.0) is state.latest_view("ami", "ami-1")
 
     @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=20))
     @settings(max_examples=50, deadline=None)

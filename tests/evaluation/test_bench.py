@@ -43,6 +43,37 @@ class TestBenchMatching:
         assert metrics["classify_once_speedup"] > 1.0
 
 
+class TestBenchCloud:
+    def test_small_run_produces_gated_ratios(self):
+        from repro.evaluation.bench import bench_cloud
+
+        result = bench_cloud(
+            history_writes=50,
+            reads=200,
+            region_small=8,
+            region_large=32,
+            ticks=8,
+            writes_per_tick=4,
+            repeat=1,
+        )
+        assert result["name"] == "cloud"
+        assert set(result["gate"]) == {
+            "stale_read_speedup",
+            "monitor_tick_ratio",
+            "monitor_tick_speedup",
+            "snapshot_shared_fraction",
+        }
+        metrics = result["metrics"]
+        # Reference-returning bisect reads must beat linear scan + deepcopy
+        # even on a tiny history.
+        assert metrics["stale_read_speedup"] > 1.0
+        # Delta ticks must beat full-region deep copies ...
+        assert metrics["monitor_tick_speedup"] > 1.0
+        # ... and scale with the (fixed) write rate, not the 4x region.
+        assert metrics["monitor_tick_ratio"] < 4.0
+        assert 0.0 < metrics["snapshot_shared_fraction"] < 1.0
+
+
 def _result(name="matching", gate=None, **metrics):
     return {"name": name, "metrics": metrics, "gate": gate or {}}
 

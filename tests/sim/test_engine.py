@@ -179,6 +179,44 @@ class TestProcess:
         with pytest.raises(KeyError):
             engine.run(until=process)
 
+    def test_run_until_processed_event_returns_without_draining(self, engine):
+        """Regression: run(until=<already-processed event>) must return at
+        once.  The seed appended a stop callback that could never fire
+        (the event will never be popped again) and drained the entire
+        queue instead."""
+
+        def proc():
+            yield engine.timeout(1.0)
+            return 42
+
+        def far_future():
+            yield engine.timeout(1000.0)
+
+        engine.process(far_future())
+        process = engine.process(proc())
+        assert engine.run(until=process) == 42
+        assert engine.now == 1.0
+        # Asking again for the same (processed) sentinel: immediate answer,
+        # no queue drain — the far-future timer must not run.
+        assert engine.run(until=process) == 42
+        assert engine.now == 1.0
+
+    def test_run_until_processed_failed_event_reraises(self, engine):
+        def proc():
+            yield engine.timeout(1.0)
+            raise KeyError("nope")
+
+        def far_future():
+            yield engine.timeout(1000.0)
+
+        engine.process(far_future())
+        process = engine.process(proc())
+        with pytest.raises(KeyError):
+            engine.run(until=process)
+        with pytest.raises(KeyError):
+            engine.run(until=process)
+        assert engine.now == 1.0
+
     def test_process_name_default_and_repr(self, engine):
         def myproc():
             yield engine.timeout(0)
