@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check test bench bench-pytest chaos trace
+.PHONY: check test bench bench-pytest chaos trace recover
 
 # The fast gate for every push: tier-1 minus the slow full-campaign
 # tests, plus the parallel-campaign determinism regression.
@@ -12,6 +12,11 @@ check:
 # Seeded API-plane chaos regression (severe profile, zero crashed runs).
 chaos:
 	python -m pytest -q -m "chaos and not slow"
+
+# Closed-loop recovery smoke: seeded recover-enabled campaign regressions
+# (terminal classes per fault type, serial == parallel, chaos never crashes).
+recover:
+	python -m pytest -q -m "recovery and not slow"
 
 # Observability smoke: traced seeded 8-run campaign, JSON export +
 # span tree.  Fails if any pipeline stage stops producing spans.

@@ -7,6 +7,8 @@ The commands cover the day-one workflows of a downstream user:
   (optionally parallel via ``--workers``), with Table I / Fig. 6 /
   Fig. 7 output and optional JSON export;
 - ``chaos-sweep`` — the campaign repeated across API degradation levels;
+- ``recover``    — the closed loop on one faulty upgrade: diagnose,
+  remediate, verify, resume (prints the recovery record);
 - ``mine``      — discover the rolling-upgrade process model from fresh
   logs and print it (optionally as Graphviz DOT);
 - ``trees``     — inventory the standard fault trees (optionally as DOT);
@@ -47,6 +49,49 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """One faulty upgrade end to end: diagnose → remediate → verify → resume."""
+    from repro.evaluation.faults import FaultPlan, schedule_fault
+    from repro.recovery import ESCALATED, RECOVERED
+    from repro.recovery.supervisor import recover_run
+    from repro.testbed import build_testbed
+
+    testbed = build_testbed(
+        cluster_size=args.cluster, seed=args.seed, chaos=args.chaos
+    )
+    plan = FaultPlan(fault_type=args.fault, inject_at=args.inject_at)
+    schedule_fault(testbed, plan)
+    operation = testbed.run_upgrade(trace_id="recover-demo")
+    print(f"upgrade: {operation.status} in {operation.duration:.0f}s (virtual),"
+          f" {len(testbed.pod.detections)} detections")
+    for report in testbed.pod.reports[:2]:
+        print(f"  {report.summary()}")
+
+    record = recover_run(
+        testbed, operation, run_id="recover-demo", seed=args.seed
+    )
+    if record is None:
+        print("nothing to recover: no diagnosed causes and the fleet conforms")
+        return 0
+    print(f"\nrecovery: {record['status']}"
+          + (f" (MTTR {record['mttr']:.0f}s virtual)" if record["mttr"] is not None else ""))
+    for action in record["actions"]:
+        print(f"  action {action['action']} on {action['target']}:"
+              f" {action['status']} (attempts={action['attempts']})")
+    if record["resumed"]:
+        print(f"  resumed upgrade: {record['resume_status']}"
+              f" (trace {record['resume_trace_id']},"
+              f" {record['resume_detections']} new detections)")
+    print(f"  fleet conformant: {record['fleet_conformant']}")
+    for line in record["advisory"]:
+        print(f"  advisory: {line}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(record, handle, indent=2)
+        print(f"\nrecovery record written to {args.json}")
+    return 0 if record["status"] == RECOVERED else (2 if record["status"] == ESCALATED else 1)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.evaluation.campaign import Campaign, CampaignConfig
     from repro.evaluation.figures import render_fig6, render_fig7, render_headline
@@ -57,6 +102,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         large_cluster_runs=max(1, args.runs // 5),
         seed=args.seed,
         chaos_profile=args.chaos,
+        recover=args.recover,
     )
     campaign = Campaign(config)
 
@@ -79,6 +125,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     print(render_fig6(metrics))
     print()
     print(render_fig7(metrics))
+    if metrics.recovery_attempted:
+        mttr = metrics.mttr_stats()
+        print(f"\nrecovery: {metrics.recovered_runs} RECOVERED /"
+              f" {metrics.escalated_runs} ESCALATED"
+              f" of {metrics.recovery_attempted} attempted"
+              f" (success {metrics.recovery_success_rate:.1%},"
+              f" {metrics.resumed_runs} resumed,"
+              f" MTTR mean {mttr['mean']:.1f}s p95 {mttr['p95']:.1f}s)")
     if args.report:
         from repro.evaluation.reporting import render_markdown
 
@@ -92,6 +146,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "workers": args.workers,
                 "chaos_profile": args.chaos,
+                "recover": args.recover,
             },
             "total_runs": metrics.total_runs,
             "failed_runs": metrics.failed_runs,
@@ -104,6 +159,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             "false_positives": metrics.false_positives,
             "interference_detected": metrics.interference_detected,
             "diagnosis_time_stats": metrics.diagnosis_time_stats(),
+            "recovery": {
+                "attempted": metrics.recovery_attempted,
+                "recovered": metrics.recovered_runs,
+                "escalated": metrics.escalated_runs,
+                "resumed": metrics.resumed_runs,
+                "success_rate": metrics.recovery_success_rate,
+                "mttr_stats": metrics.mttr_stats(),
+            },
             "per_fault": {
                 ft: {
                     "precision": bucket.precision,
@@ -314,10 +377,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos", default="none", choices=list(CHAOS_LEVELS),
         help="API-plane degradation profile applied to every run",
     )
+    campaign.add_argument(
+        "--recover", action="store_true",
+        help="close the loop on every run: diagnose → remediate → verify →"
+             " resume (adds recovery-success rate + MTTR to the output)",
+    )
     campaign.add_argument("--json", help="write metrics JSON to this path")
     campaign.add_argument("--report", help="write a Markdown report to this path")
     campaign.add_argument("--verbose", action="store_true")
     campaign.set_defaults(func=_cmd_campaign)
+
+    recover = sub.add_parser(
+        "recover",
+        help="one faulty upgrade through the closed loop: diagnose,"
+             " remediate, verify, resume",
+    )
+    from repro.evaluation.faults import FAULT_TYPES
+
+    recover.add_argument(
+        "--fault", default="KEYPAIR_UNAVAILABLE", choices=list(FAULT_TYPES),
+        help="fault type injected mid-upgrade (default KEYPAIR_UNAVAILABLE)",
+    )
+    recover.add_argument("--cluster", type=int, default=4, help="cluster size (default 4)")
+    recover.add_argument("--seed", type=int, default=11)
+    recover.add_argument("--inject-at", type=float, default=40.0,
+                         help="virtual seconds after upgrade start (default 40)")
+    recover.add_argument(
+        "--chaos", default="none", choices=list(CHAOS_LEVELS),
+        help="API-plane degradation profile (recovery must still terminate)",
+    )
+    recover.add_argument("--json", help="write the recovery record JSON to this path")
+    recover.set_defaults(func=_cmd_recover)
 
     chaos_sweep = sub.add_parser(
         "chaos-sweep",

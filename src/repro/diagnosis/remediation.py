@@ -18,6 +18,8 @@ from __future__ import annotations
 import dataclasses
 import typing as _t
 
+from repro.cloud.errors import CloudError
+
 
 @dataclasses.dataclass
 class RemediationPlan:
@@ -29,6 +31,22 @@ class RemediationPlan:
     automatable: bool
     #: (api method, args, kwargs) calls an automated apply would issue.
     api_calls: list[tuple] = dataclasses.field(default_factory=list)
+    #: The resource the action operates on (launch configuration name,
+    #: key pair name, security group name, ...).  Two causes needing the
+    #: same action on *different* targets are two distinct fixes.
+    target: str | None = None
+
+
+#: Root-cause leaf ids that deliberately have no remediation catalog
+#: entry.  ``instance-unhealthy`` and ``termination-author`` are
+#: evidence nodes (what happened), not prescriptions (what to do) — the
+#: actionable advice lives on their sibling/parent causes.  The catalog
+#: completeness test fails when a fault-tree leaf is neither in the
+#: catalog nor listed here, so new trees can't silently lack plans.
+KNOWN_UNMAPPED: frozenset[str] = frozenset({
+    "instance-unhealthy",
+    "termination-author",
+})
 
 
 #: cause node id -> (action, description template, automatable)
@@ -114,15 +132,37 @@ def plan_for(cause_id: str, params: dict) -> RemediationPlan | None:
             changes["security_groups"] = list(params.get("expected_security_groups", []))
         elif "instance-type" in cause_id:
             changes["instance_type"] = params.get("expected_instance_type")
-        plan.api_calls = [("update_launch_configuration", (params.get("lc_name"),), changes)]
+        plan.target = params.get("lc_name")
+        plan.api_calls = [("update_launch_configuration", (plan.target,), changes)]
     elif action == "recreate-key-pair":
-        plan.api_calls = [("create_key_pair", (params.get("expected_key_name"),), {})]
+        plan.target = params.get("expected_key_name")
+        plan.api_calls = [("create_key_pair", (plan.target,), {})]
     elif action == "recreate-security-group":
         group = params.get("expected_security_group") or (
             (params.get("expected_security_groups") or [None])[0]
         )
+        plan.target = group
         plan.api_calls = [("create_security_group", (group,), {})]
+    else:
+        plan.target = _advisory_target(action, params)
     return plan
+
+
+#: Param key naming the resource each advisory action concerns.
+_ADVISORY_TARGET_KEYS = {
+    "restore-image": "expected_image_id",
+    "escalate-elb": "elb_name",
+    "reconcile-capacity": "asg_name",
+    "free-capacity": "asg_name",
+    "investigate-termination": "asg_name",
+    "audit-change-control": "lc_name",
+    "coordinate-teams": "lc_name",
+}
+
+
+def _advisory_target(action: str, params: dict) -> str | None:
+    key = _ADVISORY_TARGET_KEYS.get(action)
+    return params.get(key) if key else None
 
 
 def _defaults() -> dict:
@@ -138,32 +178,70 @@ def _defaults() -> dict:
     }
 
 
-def plans_for_report(report, params: dict) -> list[RemediationPlan]:
-    """Plans for every confirmed root cause of a diagnosis report,
-    deduplicated by action."""
+def plans_for_report(
+    report, params: dict, cause_params: dict[str, dict] | None = None
+) -> list[RemediationPlan]:
+    """Plans for every root cause of a diagnosis report.
+
+    Deduplicated by ``(action, target)``: two causes prescribing the same
+    action on the *same* resource are one fix, but the same action on
+    *different* targets (e.g. recreating two different security groups)
+    are distinct fixes and both survive.  ``cause_params`` optionally
+    overrides ``params`` per cause node id — how a caller points two
+    instances of the same cause class at different resources.
+    """
     plans: list[RemediationPlan] = []
-    seen_actions: set[str] = set()
+    seen: set[tuple[str, str | None]] = set()
     for cause in report.root_causes:
-        plan = plan_for(cause.node_id, params)
-        if plan is None or plan.action in seen_actions:
+        merged = params
+        if cause_params and cause.node_id in cause_params:
+            merged = {**params, **cause_params[cause.node_id]}
+        plan = plan_for(cause.node_id, merged)
+        if plan is None or (plan.action, plan.target) in seen:
             continue
-        seen_actions.add(plan.action)
+        seen.add((plan.action, plan.target))
         plans.append(plan)
     return plans
 
 
-def apply(plan: RemediationPlan, api) -> list[str]:
+@dataclasses.dataclass
+class ApplyResult:
+    """Structured outcome of one plan application.
+
+    A ``CloudError`` mid-plan no longer propagates with no record of what
+    was mutated: ``completed`` always lists the calls that went through,
+    and ``failed_call``/``error`` pin the one that did not.
+    """
+
+    plan: RemediationPlan
+    completed: list[str] = dataclasses.field(default_factory=list)
+    failed_call: str | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failed_call is None
+
+
+def apply(plan: RemediationPlan, api) -> ApplyResult:
     """Execute an automatable plan's API calls; returns what was done.
 
     Refuses non-automatable plans: those need a human decision (the same
-    conservatism the paper's operators exercise).
+    conservatism the paper's operators exercise).  API failures mid-plan
+    are captured as a partial :class:`ApplyResult` instead of raising —
+    the caller always learns which mutations actually happened.
     """
     if not plan.automatable:
         raise PermissionError(
             f"plan {plan.action!r} is not automatable; human action required"
         )
-    done = []
+    result = ApplyResult(plan=plan)
     for method, args, kwargs in plan.api_calls:
-        getattr(api, method)(*args, **kwargs)
-        done.append(f"{method}{args}")
-    return done
+        try:
+            getattr(api, method)(*args, **kwargs)
+        except CloudError as exc:
+            result.failed_call = f"{method}{args}"
+            result.error = f"{type(exc).__name__}: {exc}"
+            return result
+        result.completed.append(f"{method}{args}")
+    return result

@@ -1,6 +1,6 @@
 """Benchmark-regression harness: ``make bench`` / ``python -m repro bench``.
 
-Four benchmarks cover the pipeline's hot paths:
+Five benchmarks cover the pipeline's hot paths and its closed loop:
 
 - **matching** — pattern-classification throughput over a synthetic but
   realistic log corpus: the seed path (four naive linear scans per line,
@@ -11,6 +11,10 @@ Four benchmarks cover the pipeline's hot paths:
   (the paper's "responded on average in about 10ms" path);
 - **campaign** — fault-injection campaign runs/sec, serial and across a
   warm chunked worker pool;
+- **recovery** — closed-loop quality over a seeded recover-enabled
+  campaign: recovery-success ratio (gated higher) and mean MTTR on the
+  virtual clock (gated lower) — deterministic simulation outcomes, not
+  wall-clock timings, so the gate holds on any host;
 - **cloud** — the copy-on-write data plane: stale reads served from
   frozen history views vs the seed's linear-scan-plus-deepcopy path, and
   delta-encoded monitor ticks vs full-region deep copies (per-tick cost
@@ -308,6 +312,62 @@ def bench_campaign(
     }
 
 
+# -- recovery -----------------------------------------------------------------
+
+
+def bench_recovery(
+    runs_per_fault: int = 1, workers: int = 4, seed: int = 2014
+) -> dict:
+    """Closed-loop recovery quality over one seeded 8-fault campaign.
+
+    Unlike the other benchmarks this gates *simulation outcomes*, not
+    machine timings: recovery-success ratio and mean MTTR are measured on
+    the virtual clock of a fully seeded campaign, so they are bit-for-bit
+    reproducible on any host and the regression gate is meaningful at any
+    tolerance.  A code change that makes recovery slower to verify (MTTR
+    up) or breaks an automatable remediation (success ratio down) fails
+    the gate even though no wall-clock path regressed.
+    """
+    from repro.evaluation.campaign import Campaign, CampaignConfig
+    from repro.evaluation.metrics import compute_metrics
+
+    config = CampaignConfig(
+        runs_per_fault=runs_per_fault,
+        large_cluster_runs=0,
+        seed=seed,
+        recover=True,
+    )
+    campaign = Campaign(config)
+    started = time.perf_counter()
+    campaign.run(max_workers=workers)
+    elapsed = time.perf_counter() - started
+    metrics = compute_metrics(campaign.outcomes)
+    if metrics.failed_runs:
+        raise RuntimeError(
+            f"{metrics.failed_runs} recovery run(s) crashed during the benchmark"
+        )
+    mttr = metrics.mttr_stats()
+
+    return {
+        "name": "recovery",
+        "metrics": {
+            "runs": metrics.total_runs,
+            "attempted": metrics.recovery_attempted,
+            "recovered": metrics.recovered_runs,
+            "escalated": metrics.escalated_runs,
+            "resumed": metrics.resumed_runs,
+            "recovery_success_rate": metrics.recovery_success_rate,
+            "mttr_mean_s": mttr["mean"],
+            "mttr_p95_s": mttr["p95"],
+            "runs_per_sec": metrics.total_runs / elapsed,
+        },
+        "gate": {
+            "recovery_success_rate": HIGHER,
+            "mttr_mean_s": LOWER,
+        },
+    }
+
+
 # -- cloud data plane ---------------------------------------------------------
 
 
@@ -492,6 +552,7 @@ def run_benchmarks(quick: bool = False, workers: int = 4, seed: int = 2014) -> l
             bench_matching(lines=2000, repeat=2),
             bench_conformance(traces=80, repeat=2),
             bench_campaign(runs_per_fault=1, workers=workers, seed=seed, repeat=1),
+            bench_recovery(runs_per_fault=1, workers=workers, seed=seed),
             bench_cloud(
                 history_writes=100,
                 reads=500,
@@ -505,6 +566,7 @@ def run_benchmarks(quick: bool = False, workers: int = 4, seed: int = 2014) -> l
         bench_matching(),
         bench_conformance(),
         bench_campaign(runs_per_fault=4, workers=workers, seed=seed),
+        bench_recovery(runs_per_fault=1, workers=workers, seed=seed),
         bench_cloud(),
     ]
 

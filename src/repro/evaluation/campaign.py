@@ -41,6 +41,9 @@ class RunSpec:
     chaos_profile: str = "none"
     #: Record pipeline spans + metrics for this run (see :mod:`repro.obs`).
     trace: bool = False
+    #: Run the closed-loop recovery supervisor after the upgrade ends
+    #: (diagnose → remediate → verify → resume; see :mod:`repro.recovery`).
+    recover: bool = False
 
 
 @dataclasses.dataclass
@@ -104,6 +107,15 @@ class RunOutcome:
     trace: list | None = None
     #: Pipeline metrics snapshot (counters/gauges/histograms) when traced.
     metrics: dict = dataclasses.field(default_factory=dict)
+    #: Structured recovery record (see :mod:`repro.recovery.supervisor`)
+    #: when the spec asked for recovery and the run needed it; None for
+    #: healthy runs and non-recovering campaigns.
+    recovery: dict | None = None
+
+    @property
+    def recovery_class(self) -> str | None:
+        """RECOVERED / ESCALATED / None (no recovery attempted/needed)."""
+        return self.recovery["status"] if self.recovery else None
 
     @property
     def failed(self) -> bool:
@@ -249,6 +261,9 @@ class CampaignConfig:
     chaos_profile: str = "none"
     #: Enable span tracing + pipeline metrics on every run.
     trace: bool = False
+    #: Run closed-loop recovery (diagnose → remediate → verify → resume)
+    #: after every run's upgrade phase.
+    recover: bool = False
 
     def __post_init__(self) -> None:
         if self.fault_types is not None:
@@ -341,6 +356,12 @@ def run_single(spec: RunSpec) -> RunOutcome:
     orchestrator_detected_at = next(
         (r.time for r in testbed.stream.records if "Exception during" in r.message), None
     )
+    # Ground truth is judged on the post-upgrade state — *before* recovery
+    # heals it (a healed launch configuration must not un-manifest the
+    # fault the run is scored on).
+    manifested = _fault_manifested(
+        testbed, spec.fault_type, fault_outcome["injected_at"], fault_outcome["reverted_at"]
+    )
 
     truth = [spec.fault_type] if fault_outcome["injected_at"] is not None else []
     if spec.interference.scale_in_at is not None:
@@ -350,6 +371,9 @@ def run_single(spec: RunSpec) -> RunOutcome:
     if spec.interference.second_team_pressure_at is not None:
         truth.append(ACCOUNT_LIMIT)
 
+    # Detection/diagnosis views are snapshotted *before* recovery runs:
+    # precision/recall/accuracy score the detection phase, while anything
+    # the resumed operation surfaces lives inside the recovery record.
     detections = [
         {
             "time": d.time,
@@ -372,6 +396,16 @@ def run_single(spec: RunSpec) -> RunOutcome:
         )
         for r in testbed.pod.reports
     ]
+
+    recovery = None
+    if spec.recover:
+        from repro.recovery.supervisor import recover_run
+
+        # Entirely in virtual time inside this run's own engine, seeded
+        # from the spec: the serial ≡ parallel bit-for-bit guarantee and
+        # seed determinism carry over to recovery for free.
+        recovery = recover_run(testbed, operation, run_id=spec.run_id, seed=spec.seed)
+
     api_health = dict(testbed.pod.env.client.counters())
     api_health.update({f"chaos_{k}": v for k, v in testbed.chaos.counters.items()})
     # Data-plane counters (stale/fresh read mix, snapshot sharing ratio,
@@ -389,9 +423,7 @@ def run_single(spec: RunSpec) -> RunOutcome:
         injected_at=fault_outcome["injected_at"],
         reverted_at=fault_outcome["reverted_at"],
         truth=truth,
-        fault_manifested=_fault_manifested(
-            testbed, spec.fault_type, fault_outcome["injected_at"], fault_outcome["reverted_at"]
-        ),
+        fault_manifested=manifested,
         operation_status=operation.status,
         orchestrator_detected_at=orchestrator_detected_at,
         detections=detections,
@@ -403,6 +435,7 @@ def run_single(spec: RunSpec) -> RunOutcome:
         degraded_verdicts=sum(r.degraded_tests for r in reports),
         trace=testbed.obs.export_trace() if spec.trace else None,
         metrics=testbed.obs.export_metrics() if spec.trace else {},
+        recovery=recovery,
     )
 
 
@@ -453,6 +486,7 @@ class Campaign:
                         interference=plan,
                         chaos_profile=config.chaos_profile,
                         trace=config.trace,
+                        recover=config.recover,
                     )
                 )
         return specs

@@ -82,6 +82,16 @@ class CampaignMetrics:
     #: maxed, histogram buckets summed) across traced, scored runs.
     #: Empty unless the campaign ran with tracing enabled.
     pipeline_metrics: dict = dataclasses.field(default_factory=dict)
+    #: Closed-loop recovery (see :mod:`repro.recovery`): runs where the
+    #: supervisor attempted recovery, split into terminal classes, plus
+    #: per-recovered-run MTTR samples (virtual seconds from first error
+    #: symptom to verified recovery).  All zero/empty unless the campaign
+    #: ran with ``recover`` enabled.
+    recovery_attempted: int = 0
+    recovered_runs: int = 0
+    escalated_runs: int = 0
+    resumed_runs: int = 0
+    mttr_values: list[float] = dataclasses.field(default_factory=list)
 
     @property
     def scored_runs(self) -> int:
@@ -108,17 +118,33 @@ class CampaignMetrics:
         return self.correct_diagnoses / denominator if denominator else 1.0
 
     def diagnosis_time_stats(self) -> dict[str, float]:
-        times = sorted(self.diagnosis_times)
-        if not times:
-            return {"min": 0.0, "mean": 0.0, "p95": 0.0, "max": 0.0}
-        return {
-            "min": times[0],
-            "mean": statistics.fmean(times),
-            # Nearest-rank percentile: rank ceil(p*n) (1-based), so a
-            # single sample is its own p95 and n=20 picks the 19th value.
-            "p95": times[math.ceil(0.95 * len(times)) - 1],
-            "max": times[-1],
-        }
+        return _time_stats(self.diagnosis_times)
+
+    @property
+    def recovery_success_rate(self) -> float:
+        """RECOVERED / attempted (1.0 when recovery was never attempted)."""
+        if not self.recovery_attempted:
+            return 1.0
+        return self.recovered_runs / self.recovery_attempted
+
+    def mttr_stats(self) -> dict[str, float]:
+        """Mean-time-to-recovery stats over verified recoveries (virtual
+        seconds, first error symptom → verification green)."""
+        return _time_stats(self.mttr_values)
+
+
+def _time_stats(values: _t.Sequence[float]) -> dict[str, float]:
+    times = sorted(values)
+    if not times:
+        return {"min": 0.0, "mean": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "min": times[0],
+        "mean": statistics.fmean(times),
+        # Nearest-rank percentile: rank ceil(p*n) (1-based), so a
+        # single sample is its own p95 and n=20 picks the 19th value.
+        "p95": times[math.ceil(0.95 * len(times)) - 1],
+        "max": times[-1],
+    }
 
 
 def _diagnosed_interference(outcome: RunOutcome) -> tuple[int, int]:
@@ -156,11 +182,27 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
     degraded_verdicts = 0
     api_health: dict = {}
     metric_snapshots: list[dict] = []
+    recovery_attempted = 0
+    recovered_runs = 0
+    escalated_runs = 0
+    resumed_runs = 0
+    mttr_values: list[float] = []
 
     for outcome in outcomes:
         if outcome.failed:
             failed_runs += 1
             continue
+        rec = getattr(outcome, "recovery", None)
+        if rec:
+            recovery_attempted += 1
+            if rec.get("status") == "RECOVERED":
+                recovered_runs += 1
+                if rec.get("mttr") is not None:
+                    mttr_values.append(rec["mttr"])
+            else:
+                escalated_runs += 1
+            if rec.get("resumed"):
+                resumed_runs += 1
         if getattr(outcome, "metrics", None):
             metric_snapshots.append(outcome.metrics)
         degraded_verdicts += getattr(outcome, "degraded_verdicts", 0)
@@ -228,4 +270,9 @@ def compute_metrics(outcomes: _t.Sequence[RunOutcome]) -> CampaignMetrics:
         degraded_verdicts=degraded_verdicts,
         api_health=api_health,
         pipeline_metrics=MetricsRegistry.merge(metric_snapshots) if metric_snapshots else {},
+        recovery_attempted=recovery_attempted,
+        recovered_runs=recovered_runs,
+        escalated_runs=escalated_runs,
+        resumed_runs=resumed_runs,
+        mttr_values=mttr_values,
     )

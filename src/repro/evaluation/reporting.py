@@ -39,8 +39,10 @@ def render_markdown(
         _fig6_section(metrics),
         _fig7_section(metrics),
         _failure_modes_section(outcomes),
-        _ledger_section(outcomes),
     ]
+    if metrics.recovery_attempted:
+        sections.append(_recovery_section(outcomes, metrics))
+    sections.append(_ledger_section(outcomes))
     return "\n".join(sections)
 
 
@@ -111,6 +113,41 @@ def _failure_modes_section(outcomes: _t.Sequence[RunOutcome]) -> str:
         f"- runs whose fault never manifested (masked by interference/timing):"
         f" {len(masked)}",
     ]
+    return "\n".join(lines) + "\n"
+
+
+def _recovery_section(
+    outcomes: _t.Sequence[RunOutcome], metrics: CampaignMetrics
+) -> str:
+    """Closed-loop recovery: terminal classes, MTTR, per-run outcomes."""
+    mttr = metrics.mttr_stats()
+    lines = [
+        "## Recovery (closed loop)\n",
+        f"- attempted: {metrics.recovery_attempted}"
+        f" | RECOVERED: {metrics.recovered_runs}"
+        f" | ESCALATED: {metrics.escalated_runs}"
+        f" | resumed operations: {metrics.resumed_runs}",
+        f"- recovery success rate: {metrics.recovery_success_rate:.1%}",
+        f"- MTTR (virtual, symptom → verified): mean {mttr['mean']:.1f}s,"
+        f" p95 {mttr['p95']:.1f}s, range {mttr['min']:.1f}-{mttr['max']:.1f}s",
+        "",
+        "| Run | Class | Actions | Resumed | MTTR | Advisory |",
+        "|---|---|---|---|---|---|",
+    ]
+    for outcome in outcomes:
+        rec = outcome.recovery
+        if not rec:
+            continue
+        actions = ", ".join(
+            f"{a['action']}→{a['status']}" for a in rec["actions"]
+        ) or "-"
+        mttr_cell = f"{rec['mttr']:.0f}s" if rec.get("mttr") is not None else "-"
+        resumed = rec.get("resume_status") or ("-" if not rec.get("resumed") else "?")
+        advisory = str(len(rec.get("advisory", []))) if rec.get("advisory") else "-"
+        lines.append(
+            f"| {outcome.spec.run_id} | {rec['status']} | {actions}"
+            f" | {resumed} | {mttr_cell} | {advisory} |"
+        )
     return "\n".join(lines) + "\n"
 
 

@@ -41,6 +41,9 @@ class Operation:
         self.error: Exception | None = None
         self.started_at: float | None = None
         self.finished_at: float | None = None
+        #: Progress record a recovery supervisor can resume from (set by
+        #: subclasses that support checkpointing; None otherwise).
+        self.checkpoint = None
         self._process = None
 
     # -- lifecycle ---------------------------------------------------------

@@ -67,28 +67,62 @@ class BlueGreenParams:
     verify_timeout: float = 60.0
 
 
+@dataclasses.dataclass
+class BlueGreenCheckpoint:
+    """Phase-level progress of one blue/green attempt.
+
+    A resumed attempt skips the non-idempotent green-stack creation when
+    ``provisioned`` and replays the remaining phases (waits, shift,
+    verify, drain are idempotent against current cloud state), emitting a
+    fresh conformant trace.
+    """
+
+    provisioned: bool = False
+    phases_done: list[str] = dataclasses.field(default_factory=list)
+    attempts: int = 0
+
+    def mark(self, phase: str) -> None:
+        if phase not in self.phases_done:
+            self.phases_done.append(phase)
+
+
 class BlueGreenOperation(Operation):
     """Stand up green at full capacity, switch, tear down blue."""
 
-    def __init__(self, engine, client, stream, params: BlueGreenParams, trace_id: str) -> None:
+    def __init__(
+        self,
+        engine,
+        client,
+        stream,
+        params: BlueGreenParams,
+        trace_id: str,
+        checkpoint: BlueGreenCheckpoint | None = None,
+    ) -> None:
         super().__init__(engine, client, stream, name="blue-green", trace_id=trace_id)
         self.params = params
+        self.resuming = checkpoint is not None
+        self.checkpoint = checkpoint or BlueGreenCheckpoint()
 
     def run(self) -> _t.Generator:
         p = self.params
+        ckpt = self.checkpoint
+        ckpt.attempts += 1
         self.log(f"Blue/green deployment of {p.image_id} for group {p.blue_asg} started")
 
         # -- provision the green stack -------------------------------------
-        yield self.call(
-            "create_launch_configuration",
-            p.lc_name, p.image_id, p.instance_type, p.key_name, p.security_groups,
-        )
-        yield self.call(
-            "create_auto_scaling_group",
-            p.green_asg, p.lc_name,
-            0, p.capacity + 2, p.capacity,
-            None,  # not yet attached to the ELB: traffic shifts explicitly
-        )
+        if not ckpt.provisioned:
+            yield self.call(
+                "create_launch_configuration",
+                p.lc_name, p.image_id, p.instance_type, p.key_name, p.security_groups,
+            )
+            yield self.call(
+                "create_auto_scaling_group",
+                p.green_asg, p.lc_name,
+                0, p.capacity + 2, p.capacity,
+                None,  # not yet attached to the ELB: traffic shifts explicitly
+            )
+            ckpt.provisioned = True
+        ckpt.mark("provision")
         self.log(f"Provisioned green stack {p.green_asg} with {p.lc_name} at capacity {p.capacity}")
 
         # -- wait for the green fleet ----------------------------------------
@@ -100,6 +134,7 @@ class BlueGreenOperation(Operation):
                 f" timeout waiting for green capacity"
             )
             return
+        ckpt.mark("wait")
 
         # -- shift traffic ------------------------------------------------------
         try:
@@ -107,6 +142,7 @@ class BlueGreenOperation(Operation):
         except CloudError as exc:
             self.fail(f"Exception during blue/green of {p.blue_asg}: traffic shift failed: {exc}")
             return
+        ckpt.mark("shift")
         self.log(f"Shifted traffic: {len(green_ids)} green instances registered with {p.elb_name}")
 
         # -- verify green serving --------------------------------------------------
@@ -116,6 +152,7 @@ class BlueGreenOperation(Operation):
                 f"Exception during blue/green of {p.blue_asg}: green stack never became healthy"
             )
             return
+        ckpt.mark("verify")
         self.log(f"Verified green stack serving: {len(green_ids)} of {p.capacity} in service")
 
         # -- drain + decommission blue ------------------------------------------------
@@ -129,8 +166,10 @@ class BlueGreenOperation(Operation):
             except CloudError as exc:
                 self.fail(f"Exception during blue/green of {p.blue_asg}: drain failed: {exc}")
                 return
+        ckpt.mark("drain")
         self.log(f"Drained {len(blue_ids)} blue instances from {p.elb_name}")
         yield self.call("update_auto_scaling_group", p.blue_asg, min_size=0, desired_capacity=0)
+        ckpt.mark("decommission")
         self.log(f"Decommissioned blue stack {p.blue_asg}")
 
         self.log(f"Blue/green deployment completed for group {p.blue_asg}")

@@ -57,29 +57,80 @@ class RollingUpgradeParams:
     elb_timeout: float = 25.0
 
 
+@dataclasses.dataclass
+class UpgradeCheckpoint:
+    """Batch-level progress of one rolling upgrade attempt.
+
+    Written as the operation runs; read by a resumed attempt so the
+    orchestrator restarts from the failed batch instead of redoing the
+    whole upgrade.  Remaining work is re-derived from cloud state at
+    resume time (any active instance whose configuration mismatches the
+    target), so instances replaced by the failed attempt are never
+    replaced twice.
+    """
+
+    #: The new launch configuration exists and the ASG points at it.
+    lc_ready: bool = False
+    #: Batches fully replaced and verified (READY lines emitted).
+    batches_done: int = 0
+    #: Instance ids terminated by previous attempt(s) + this one.
+    replaced: list[str] = dataclasses.field(default_factory=list)
+    #: How many attempts have written to this checkpoint (1 = first run).
+    attempts: int = 0
+
+
 class RollingUpgradeOperation(Operation):
     """Replace every instance of an ASG with the new version, k at a time."""
 
-    def __init__(self, engine, client, stream, params: RollingUpgradeParams, trace_id: str) -> None:
+    def __init__(
+        self,
+        engine,
+        client,
+        stream,
+        params: RollingUpgradeParams,
+        trace_id: str,
+        checkpoint: UpgradeCheckpoint | None = None,
+    ) -> None:
         super().__init__(engine, client, stream, name="rolling-upgrade", trace_id=trace_id)
         self.params = params
         self.relaunches_done = 0
         self.total_relaunches = 0
+        #: Resuming when given a prior attempt's checkpoint: skip the
+        #: non-idempotent create, replace only still-wrong instances.
+        self.resuming = checkpoint is not None
+        self.checkpoint = checkpoint or UpgradeCheckpoint()
+
+    def _needs_replacement(self, described: dict) -> bool:
+        """Does this instance still mismatch the target configuration?"""
+        p = self.params
+        return (
+            described.get("ImageId") != p.image_id
+            or described.get("KeyName") != p.key_name
+            or described.get("InstanceType") != p.instance_type
+            or sorted(described.get("SecurityGroups", [])) != sorted(p.security_groups)
+        )
 
     def run(self) -> _t.Generator:
         p = self.params
+        ckpt = self.checkpoint
+        ckpt.attempts += 1
         self.log(f"Pushing {p.image_id} into group {p.asg_name}: rolling upgrade task started")
 
         # -- Step: update launch configuration ----------------------------
-        yield self.call(
-            "create_launch_configuration",
-            p.lc_name,
-            p.image_id,
-            p.instance_type,
-            p.key_name,
-            p.security_groups,
-        )
+        if not ckpt.lc_ready:
+            yield self.call(
+                "create_launch_configuration",
+                p.lc_name,
+                p.image_id,
+                p.instance_type,
+                p.key_name,
+                p.security_groups,
+            )
+        # Idempotent either way; a resumed attempt re-asserts the pointer
+        # and re-emits the step line so the resumed trace replays
+        # conformantly from the process model's start.
         yield self.call("update_auto_scaling_group", p.asg_name, launch_configuration_name=p.lc_name)
+        ckpt.lc_ready = True
         self.log(
             f"Updated launch configuration of group {p.asg_name} to {p.lc_name}"
             f" with image {p.image_id}"
@@ -87,11 +138,18 @@ class RollingUpgradeOperation(Operation):
 
         # -- Step: sort instances -------------------------------------------
         instances = yield self.call("describe_instances_in_asg", p.asg_name)
-        old_ids = [
-            i["InstanceId"]
+        candidates = [
+            i
             for i in sorted(instances, key=lambda i: (i["LaunchTime"], i["InstanceId"]))
             if i["State"]["Name"] in ("running", "pending")
         ]
+        if self.resuming:
+            # Restart from the failed batch: everything already replaced
+            # with a correct-config instance is left alone; the remaining
+            # old-version (or wrong-config) instances are the failed batch
+            # plus the batches the failed attempt never reached.
+            candidates = [i for i in candidates if self._needs_replacement(i)]
+        old_ids = [i["InstanceId"] for i in candidates]
         self.total_relaunches = len(old_ids)
         self.log(f"Sorted {len(old_ids)} instances of group {p.asg_name} for replacement")
 
@@ -100,6 +158,7 @@ class RollingUpgradeOperation(Operation):
             batch = old_ids[batch_start : batch_start + p.batch_size]
             known = yield from self._current_instance_ids()
             replaced_in_batch = 0
+            terminated: list[str] = []
             for instance_id in batch:
                 # Concurrent operations may have removed the instance
                 # already (scale-in, external termination) — skip it, as
@@ -132,6 +191,7 @@ class RollingUpgradeOperation(Operation):
                 yield self.call("terminate_instance_in_auto_scaling_group", instance_id)
                 self.log(f"Terminating instance {instance_id} in group {p.asg_name}")
                 replaced_in_batch += 1
+                terminated.append(instance_id)
 
             if replaced_in_batch == 0:
                 continue
@@ -157,6 +217,8 @@ class RollingUpgradeOperation(Operation):
                     f" {self.relaunches_done} of {self.total_relaunches}"
                     f" instance relaunches done"
                 )
+            ckpt.batches_done += 1
+            ckpt.replaced.extend(terminated)
 
         self.log(f"Rolling upgrade task completed for group {p.asg_name}")
 

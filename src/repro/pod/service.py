@@ -69,6 +69,7 @@ class PODDiagnosis:
         self.obs = obs or NULL_OBS
         self.cloud = cloud
         self.config = config
+        self._seed = seed
         #: Optional :class:`~repro.cloud.chaos.ChaosController` degrading
         #: the API plane this service observes through.
         self.chaos = chaos
@@ -230,6 +231,38 @@ class PODDiagnosis:
             )
         )
         self.diagnosis.diagnose_conformance_error(result)
+
+    # -- recovery plane ---------------------------------------------------------------
+
+    def recovery_client(self, seed_offset: int = 211) -> ConsistentApiClient:
+        """A hardened client for the recovery plane.
+
+        Recovery actions mutate cloud state, so they always get the full
+        hardening stack (full-jitter backoff, retry budget, circuit
+        breaker) — and the same chaos wrapping the assertion plane sees,
+        so a degraded API plane degrades recovery the same way it
+        degrades diagnosis.  Seeded independently of the assertion
+        client: recovery runs strictly after the upgrade phase, so the
+        extra RNG stream never perturbs non-recovering runs.
+        """
+        from repro.sim.latency import aws_api_latency
+
+        api = self.cloud.api("recovery")
+        latency = aws_api_latency(seed=self._seed + seed_offset)
+        if self.chaos is not None and self.chaos.enabled:
+            api = self.chaos.wrap(api)
+            latency = self.chaos.wrap_latency(latency)
+        return ConsistentApiClient(
+            self.engine,
+            api,
+            latency=latency,
+            seed=self._seed + seed_offset + 1,
+            jitter=True,
+            retry_budget=RetryBudget(capacity=24.0, refill_rate=0.5),
+            breaker_threshold=6,
+            breaker_cooldown=45.0,
+            obs=self.obs,
+        )
 
     # -- views -----------------------------------------------------------------------
 

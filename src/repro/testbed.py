@@ -110,6 +110,8 @@ class Testbed:
         )
         self.stream = LogStream("asgard.log")
         self.upgrade: RollingUpgradeOperation | None = None
+        #: Resumed attempts (recovery plane), in launch order.
+        self.resumed: list[RollingUpgradeOperation] = []
 
     # -- provisioning -----------------------------------------------------------
 
@@ -191,6 +193,51 @@ class Testbed:
         self.pod.timers.stop_all()
         self.engine.run(until=self.engine.now + settle)
         self.pod.quiesce()
+        return operation
+
+    # -- resuming after recovery --------------------------------------------------
+
+    def resume_upgrade(
+        self,
+        checkpoint,
+        trace_id: str = "upgrade-resume",
+        horizon: float = 2700.0,
+        settle: float = 60.0,
+    ) -> RollingUpgradeOperation:
+        """Resume an interrupted upgrade from its batch checkpoint.
+
+        The resumed attempt runs on a *fresh* log stream under a new
+        trace id: POD re-runs conformance checking on the resumed trace
+        as its own process instance (the watchdog re-arms off the new
+        start line), while remaining work is re-derived from cloud state
+        so already-replaced instances are not replaced twice.
+        """
+        stream = LogStream(f"asgard-{trace_id}.log")
+        self.pod.watch(stream, trace_id)
+        params = RollingUpgradeParams(
+            asg_name=self.stack.asg_name,
+            elb_name=self.stack.elb_name,
+            image_id=self.stack.ami_v2,
+            lc_name=self.stack.lc_v2,
+            instance_type="m1.small",
+            key_name=self.stack.key_name,
+            security_groups=[self.stack.security_group],
+            batch_size=self.batch_size,
+        )
+        client = self.cloud.client("asgard", latency_seed_offset=13)
+        operation = RollingUpgradeOperation(
+            self.engine, client, stream, params, trace_id, checkpoint=checkpoint
+        )
+        operation.start()
+        deadline = self.engine.now + horizon
+        while self.engine.now < deadline:
+            if operation.status in (OP_COMPLETED, OP_FAILED):
+                break
+            self.engine.run(until=min(self.engine.now + 10.0, deadline))
+        self.pod.timers.stop_all()
+        self.engine.run(until=self.engine.now + settle)
+        self.pod.quiesce()
+        self.resumed.append(operation)
         return operation
 
 

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.diagnosis.remediation import RemediationPlan, apply, plan_for, plans_for_report
+from repro.diagnosis.remediation import (
+    _CATALOG,
+    KNOWN_UNMAPPED,
+    RemediationPlan,
+    apply,
+    plan_for,
+    plans_for_report,
+)
 from repro.diagnosis.report import DiagnosisReport, RootCause
 
 
@@ -71,6 +78,60 @@ class TestPlanning:
             "reconcile-capacity",
         ]
 
+    def test_dedupe_is_by_action_and_target(self):
+        """Same action on *different* resources must yield distinct plans.
+
+        Regression: the old dedupe keyed on action alone, collapsing two
+        missing security groups into a single recreate of the first one.
+        """
+        report = DiagnosisReport(
+            request_id="d",
+            trigger="assertion",
+            trigger_detail="x",
+            trace_id="t",
+            step=None,
+            started_at=0.0,
+            root_causes=[
+                RootCause("security-group-unavailable", "", "confirmed"),
+                RootCause("lc-sg-missing", "", "confirmed"),
+            ],
+        )
+        cause_params = {"lc-sg-missing": {"expected_security_group": "sg-admin"}}
+        plans = plans_for_report(report, PARAMS, cause_params=cause_params)
+        assert [(p.action, p.target) for p in plans] == [
+            ("recreate-security-group", "sg-web"),
+            ("recreate-security-group", "sg-admin"),
+        ]
+        # Same action, same target: still one plan.
+        same = plans_for_report(report, PARAMS)
+        assert len(same) == 1
+
+    def test_catalog_covers_every_fault_tree_leaf(self):
+        """Every fault-tree leaf maps to a remediation or is known-unmapped.
+
+        A new tree whose leaves silently lack catalog entries would make
+        the recovery plane escalate causes it should have plans for —
+        this closes that gap at test time.
+        """
+        from repro.faulttree.library import build_standard_fault_trees
+
+        registry = build_standard_fault_trees()
+        leaves = {
+            leaf.node_id
+            for tree_id in registry.tree_ids()
+            for leaf in registry.get(tree_id).leaves()
+        }
+        assert leaves, "no fault-tree leaves found"
+        unmapped = leaves - set(_CATALOG) - KNOWN_UNMAPPED
+        assert not unmapped, (
+            f"fault-tree leaves with no remediation catalog entry: {sorted(unmapped)};"
+            " add a catalog entry or (for pure evidence nodes) extend KNOWN_UNMAPPED"
+        )
+        # KNOWN_UNMAPPED must not rot: every entry is still a real leaf
+        # with no catalog entry.
+        assert KNOWN_UNMAPPED <= leaves
+        assert not KNOWN_UNMAPPED & set(_CATALOG)
+
 
 class TestApplication:
     def test_apply_reverts_corrupted_lc(self, provisioned_cloud):
@@ -79,9 +140,33 @@ class TestApplication:
         cloud.injector.change_lc_ami("lc-v1", "ami-rogue")
         params = {**PARAMS, "lc_name": "lc-v1", "expected_image_id": cloud.ami_v1}
         plan = plan_for("lc-wrong-ami", params)
-        done = apply(plan, api)
-        assert done == [f"update_launch_configuration('lc-v1',)"]
+        result = apply(plan, api)
+        assert result.ok
+        assert result.completed == ["update_launch_configuration('lc-v1',)"]
         assert cloud.state.get("launch_configuration", "lc-v1").image_id == cloud.ami_v1
+
+    def test_apply_returns_partial_result_on_cloud_error(self):
+        """A CloudError mid-plan yields a structured partial result.
+
+        Regression: apply() used to let the exception propagate, losing
+        the record of which mutations had already gone through.
+        """
+        from repro.cloud.errors import CloudError
+
+        class FlakyApi:
+            def __init__(self):
+                self.calls = []
+
+            def update_launch_configuration(self, name, **changes):
+                self.calls.append(name)
+                raise CloudError("InternalError: boom")
+
+        plan = plan_for("lc-wrong-ami", PARAMS)
+        result = apply(plan, FlakyApi())
+        assert not result.ok
+        assert result.completed == []
+        assert result.failed_call == "update_launch_configuration('lc-app-v2',)"
+        assert "CloudError" in result.error and "boom" in result.error
 
     def test_apply_recreates_key_pair(self, provisioned_cloud):
         cloud = provisioned_cloud

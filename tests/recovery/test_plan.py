@@ -1,0 +1,143 @@
+"""Tests for recovery-plan construction: causes → supervised action DAG."""
+
+from repro.diagnosis.report import DiagnosisReport, RootCause
+from repro.recovery.plan import (
+    RecoveryAction,
+    RecoveryPlan,
+    VerificationProbe,
+    build_recovery_plan,
+)
+
+
+PARAMS = {
+    "asg_name": "asg-dsn",
+    "lc_name": "lc-app-v2",
+    "elb_name": "elb-dsn",
+    "N": 4,
+    "expected_image_id": "ami-2",
+    "expected_key_name": "key-prod",
+    "expected_instance_type": "m1.small",
+    "expected_security_groups": ["sg-web"],
+    "expected_security_group": "sg-web",
+}
+
+
+def report_with(*causes):
+    return DiagnosisReport(
+        request_id="d",
+        trigger="assertion",
+        trigger_detail="x",
+        trace_id="t",
+        step=None,
+        started_at=0.0,
+        root_causes=list(causes),
+    )
+
+
+class TestProbe:
+    def test_subset_match(self):
+        probe = VerificationProbe("describe_launch_configuration", ("lc",),
+                                  {"ImageId": "ami-2"})
+        assert probe.satisfied_by({"ImageId": "ami-2", "KeyName": "k"})
+        assert not probe.satisfied_by({"ImageId": "ami-9"})
+
+    def test_lists_compare_order_insensitively(self):
+        probe = VerificationProbe("m", (), {"SecurityGroups": ["a", "b"]})
+        assert probe.satisfied_by({"SecurityGroups": ["b", "a"]})
+        assert not probe.satisfied_by({"SecurityGroups": ["a"]})
+
+    def test_missing_resource_never_satisfies(self):
+        probe = VerificationProbe("m", ())
+        assert not probe.satisfied_by(None)
+        assert probe.satisfied_by({})  # empty expect = existence check
+
+
+class TestBuild:
+    def test_confirmed_automatable_cause_becomes_action(self):
+        plan = build_recovery_plan(
+            report_with(RootCause("lc-wrong-ami", "", "confirmed")), PARAMS
+        )
+        assert plan.automatable
+        [action] = plan.actions
+        assert action.action == "restore-launch-configuration"
+        assert action.action_id == "restore-launch-configuration:lc-app-v2"
+        assert action.probe.expect == {"ImageId": "ami-2"}
+        assert action.undo_capture is not None
+
+    def test_undetermined_cause_stays_advisory(self):
+        plan = build_recovery_plan(
+            report_with(RootCause("lc-wrong-ami", "", "undetermined")), PARAMS
+        )
+        assert not plan.actions
+        assert len(plan.advisory) == 1
+
+    def test_non_automatable_cause_stays_advisory(self):
+        plan = build_recovery_plan(
+            report_with(RootCause("elb-unavailable", "", "confirmed")), PARAMS
+        )
+        assert not plan.automatable
+        assert any("elb-dsn" in line for line in plan.advisory)
+
+    def test_duplicate_fixes_collapse_to_one_action(self):
+        """Two causes prescribing the same fix on the same target share
+        one idempotency key — the plan carries a single action."""
+        plan = build_recovery_plan(
+            report_with(
+                RootCause("wrong-ami", "", "confirmed"),
+                RootCause("lc-wrong-ami", "", "confirmed"),
+            ),
+            PARAMS,
+        )
+        [action] = plan.actions
+        assert action.action_id == "restore-launch-configuration:lc-app-v2"
+        assert action.cause_ids == ["wrong-ami"]
+
+    def test_restore_depends_on_recreates(self):
+        """A restored LC referencing a recreated key pair waits for it."""
+        plan = build_recovery_plan(
+            report_with(
+                RootCause("lc-wrong-key-pair", "", "confirmed"),
+                RootCause("key-pair-unavailable", "", "confirmed"),
+            ),
+            PARAMS,
+        )
+        assert len(plan.actions) == 2
+        ordered = plan.ordered_actions()
+        assert [a.action for a in ordered] == [
+            "recreate-key-pair",
+            "restore-launch-configuration",
+        ]
+        assert ordered[1].depends_on == ["recreate-key-pair:key-prod"]
+
+
+class TestOrdering:
+    def _action(self, action_id, depends_on=()):
+        return RecoveryAction(
+            action_id=action_id,
+            action=action_id,
+            target=None,
+            cause_ids=[],
+            description="",
+            api_calls=[],
+            probe=VerificationProbe("m", ()),
+            depends_on=list(depends_on),
+        )
+
+    def test_topological_order_is_stable(self):
+        plan = RecoveryPlan(actions=[
+            self._action("c", depends_on=["a"]),
+            self._action("a"),
+            self._action("b"),
+        ])
+        assert [a.action_id for a in plan.ordered_actions()] == ["a", "b", "c"]
+
+    def test_unknown_dependency_does_not_block(self):
+        plan = RecoveryPlan(actions=[self._action("a", depends_on=["ghost"])])
+        assert [a.action_id for a in plan.ordered_actions()] == ["a"]
+
+    def test_cycle_degrades_to_plan_order(self):
+        plan = RecoveryPlan(actions=[
+            self._action("a", depends_on=["b"]),
+            self._action("b", depends_on=["a"]),
+        ])
+        assert [a.action_id for a in plan.ordered_actions()] == ["a", "b"]
