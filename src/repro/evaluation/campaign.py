@@ -495,15 +495,31 @@ class Campaign:
         self,
         progress: _t.Callable[[int, int, RunOutcome], None] | None = None,
         max_workers: int | None = None,
+        chunk_size: int | None = None,
+        cpu_count: int | None = None,
+        force_pool: bool = False,
     ) -> list[RunOutcome]:
         """Execute every run, serially or across ``max_workers`` processes.
 
         Outcomes are returned in spec order regardless of worker count;
         for a fixed config seed the results are bit-for-bit identical at
-        any parallelism (see :mod:`repro.evaluation.parallel`).
+        any parallelism (see :mod:`repro.evaluation.parallel`).  The
+        executor plans adaptively: workers are clamped to the core count
+        and the pool is skipped when its startup+IPC cost cannot be
+        repaid.  ``chunk_size`` pins specs per future; ``cpu_count`` and
+        ``force_pool`` are the executor's testing/benchmarking hooks.
         """
         from repro.evaluation.parallel import execute_specs
 
         specs = self.build_specs()
-        self.outcomes.extend(execute_specs(specs, max_workers=max_workers, progress=progress))
+        self.outcomes.extend(
+            execute_specs(
+                specs,
+                max_workers=max_workers,
+                progress=progress,
+                chunk_size=chunk_size,
+                cpu_count=cpu_count,
+                force_pool=force_pool,
+            )
+        )
         return self.outcomes

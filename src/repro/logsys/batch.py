@@ -1,0 +1,62 @@
+"""Struct-of-arrays record runs: columns instead of objects.
+
+A :class:`RecordBatch` shreds a run of :class:`LogRecord` objects into
+parallel columns (times, sources, messages, trace ids) so batch consumers
+— the compiled conformance replayer, predicate counting — iterate plain
+lists of scalars instead of chasing one attribute per record per field.
+The records themselves ride along by reference: columns are a *view* for
+the hot loops, not a replacement representation, so tagging and storage
+side effects still land on the original objects.
+
+Predicate evaluation over a finished batch is vectorized the same way:
+one pass over the status column per query, no per-record Python objects.
+"""
+
+from __future__ import annotations
+
+import typing as _t
+
+from repro.logsys.patterns import PatternLibrary, classify_record
+from repro.logsys.record import LogRecord
+
+
+class RecordBatch:
+    """Columnar view over a run of log records."""
+
+    __slots__ = ("records", "times", "sources", "messages", "trace_ids")
+
+    def __init__(self, records: _t.Sequence[LogRecord]) -> None:
+        self.records = list(records)
+        self.times: list[float] = [r.time for r in self.records]
+        self.sources: list[str] = [r.source for r in self.records]
+        self.messages: list[str] = [r.message for r in self.records]
+        self.trace_ids: list[str | None] = [
+            r.tag_value("trace") for r in self.records
+        ]
+
+    @classmethod
+    def from_records(cls, records: _t.Sequence[LogRecord]) -> "RecordBatch":
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def classify(
+        self, library: PatternLibrary, metrics=None
+    ) -> list:
+        """Classify every record (memo-aware) into one column."""
+        return [classify_record(library, record, metrics) for record in self.records]
+
+
+def count_statuses(statuses: _t.Sequence[str]) -> dict[str, int]:
+    """One-pass histogram of a status column (for batched counters)."""
+    counts: dict[str, int] = {}
+    for status in statuses:
+        counts[status] = counts.get(status, 0) + 1
+    return counts
+
+
+def where(statuses: _t.Sequence[str], predicate: _t.Callable[[str], bool]) -> list[int]:
+    """Indices whose status satisfies ``predicate`` — a vectorized filter
+    over the column, used to fan error callbacks out after a batch replay."""
+    return [i for i, status in enumerate(statuses) if predicate(status)]

@@ -82,6 +82,34 @@ class LogRecord:
             return None
         return self._tag_index.get(prefix)
 
+    def __getstate__(self) -> dict:
+        """Pickle the payload fields only, never the classify-once memo.
+
+        ``classified_by`` holds the whole :class:`PatternLibrary` — a
+        compiled-regex graph that would bloat every IPC payload when
+        records ride through campaign worker chunks — and library
+        *identity* is meaningless in another process anyway (the memo
+        guard compares with ``is``, so a round-tripped memo could never
+        be reused and a naively-shipped one would be silently dead
+        weight).  The receiving side re-classifies on demand.
+        """
+        return {
+            "time": self.time,
+            "source": self.source,
+            "message": self.message,
+            "type": self.type,
+            "tags": self.tags,
+            "fields": self.fields,
+            "timestamp": self.timestamp,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        self.classification = None
+        self.classified_by = None
+        self.__post_init__()
+
     def to_logstash(self) -> dict:
         """Render in the @-prefixed Logstash JSON shape from §IV."""
         return {

@@ -6,6 +6,8 @@ the rolling upgrade).  This package provides:
 - :mod:`repro.process.model` — a BPMN-flavoured process model (activities,
   XOR/AND gateways, loops) compiled to a Petri net for token replay;
 - :mod:`repro.process.instance` — per-trace replay state;
+- :mod:`repro.process.compiled` — the flat-transition-table replay engine
+  the checker dispatches to on the hot path;
 - :mod:`repro.process.conformance` — the conformance-checking service that
   classifies each log line as *fit*, *unfit*, *unknown* or *error* and
   derives the error context;
@@ -14,6 +16,12 @@ the rolling upgrade).  This package provides:
   reconstructs Fig. 2 from raw logs of successful runs.
 """
 
+from repro.process.compiled import (
+    CompiledInstance,
+    CompiledReplayer,
+    CompiledReplayTable,
+    compile_model,
+)
 from repro.process.context import ProcessContext
 from repro.process.conformance import ConformanceChecker, ConformanceResult
 from repro.process.instance import ProcessInstance
@@ -21,10 +29,14 @@ from repro.process.model import Activity, PetriNet, ProcessModel
 
 __all__ = [
     "Activity",
+    "CompiledInstance",
+    "CompiledReplayer",
+    "CompiledReplayTable",
     "ConformanceChecker",
     "ConformanceResult",
     "PetriNet",
     "ProcessContext",
     "ProcessInstance",
     "ProcessModel",
+    "compile_model",
 ]

@@ -74,8 +74,11 @@ class TestBenchCloud:
         assert 0.0 < metrics["snapshot_shared_fraction"] < 1.0
 
 
-def _result(name="matching", gate=None, **metrics):
-    return {"name": name, "metrics": metrics, "gate": gate or {}}
+def _result(name="matching", gate=None, floors=None, **metrics):
+    result = {"name": name, "metrics": metrics, "gate": gate or {}}
+    if floors:
+        result["floors"] = floors
+    return result
 
 
 class TestArtifacts:
@@ -139,6 +142,58 @@ class TestGate:
         regressions, notes = compare_to_baseline([current], str(tmp_path))
         assert regressions == []
         assert any("brand_new" in note for note in notes)
+
+
+class TestFloors:
+    """Absolute minima: no tolerance, no baseline required."""
+
+    def test_floor_enforced_without_any_baseline(self, tmp_path):
+        current = _result(parallel_speedup=0.85, floors={"parallel_speedup": 1.0})
+        regressions, _notes = compare_to_baseline([current], str(tmp_path))
+        assert len(regressions) == 1
+        assert "below the absolute floor" in regressions[0]
+        assert "matching.parallel_speedup" in regressions[0]
+
+    def test_floor_ignores_tolerance(self, tmp_path):
+        # 0.99 is within any reasonable relative tolerance of 1.0, but a
+        # floor is absolute: below is below.
+        current = _result(parallel_speedup=0.99, floors={"parallel_speedup": 1.0})
+        regressions, _ = compare_to_baseline([current], str(tmp_path), tolerance=0.25)
+        assert len(regressions) == 1
+
+    def test_meeting_the_floor_passes(self, tmp_path):
+        current = _result(
+            compiled_replay_speedup=3.0,
+            floors={"compiled_replay_speedup": 3.0},
+        )
+        regressions, _ = compare_to_baseline([current], str(tmp_path))
+        assert regressions == []
+
+    def test_missing_floored_metric_is_a_note(self, tmp_path):
+        current = _result(other=1.0, floors={"ghost": 2.0})
+        regressions, notes = compare_to_baseline([current], str(tmp_path))
+        assert regressions == []
+        assert any("ghost" in note and "skipped" in note for note in notes)
+
+    def test_floor_and_gate_compose(self, tmp_path):
+        # A metric can clear its floor yet still regress against the
+        # committed baseline — both checks apply.
+        write_artifacts(
+            [_result(speedup=6.0, gate={"speedup": HIGHER})], str(tmp_path)
+        )
+        current = _result(
+            speedup=3.5, gate={"speedup": HIGHER}, floors={"speedup": 3.0}
+        )  # above floor, -42% vs baseline
+        regressions, _ = compare_to_baseline([current], str(tmp_path), tolerance=0.25)
+        assert len(regressions) == 1
+        assert "baseline" in regressions[0]
+
+    def test_rendering_shows_floor(self):
+        text = render_results(
+            [_result(parallel_speedup=1.0, floors={"parallel_speedup": 1.0})]
+        )
+        assert "(floor 1)" in text
+        assert "floors are absolute" in text
 
 
 class TestRendering:

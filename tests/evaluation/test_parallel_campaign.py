@@ -22,11 +22,15 @@ from repro.evaluation.campaign import (
 from repro.evaluation.metrics import compute_metrics
 from repro.evaluation.parallel import (
     CHUNKS_PER_WORKER,
+    IPC_COST_PER_RUN,
+    POOL_STARTUP_COST,
+    ExecutionPlan,
     ParallelCampaign,
     chunk_size_for,
     execute_chunk,
     execute_run,
     execute_specs,
+    plan_execution,
     resolve_workers,
     warm_worker,
 )
@@ -42,8 +46,11 @@ SMALL_CONFIG = CampaignConfig(
 
 
 def _run(config: CampaignConfig, max_workers: int | None) -> tuple[list[RunOutcome], bytes]:
+    # force_pool: the determinism contract is serial ≡ pool, so the pool
+    # must actually spin up even on hosts where the adaptive planner
+    # would (correctly) fall back to in-process execution.
     campaign = Campaign(config)
-    campaign.run(max_workers=max_workers)
+    campaign.run(max_workers=max_workers, force_pool=bool(max_workers and max_workers > 1))
     return campaign.outcomes, pickle.dumps(compute_metrics(campaign.outcomes))
 
 
@@ -77,6 +84,8 @@ class TestDeterminism:
         assert serial_metrics == four_metrics
 
     def test_parallel_campaign_class_matches_serial(self):
+        # No force_pool here: this exercises the default adaptive path —
+        # whatever the planner picks on this host must match serial.
         serial, serial_metrics = _run(SMALL_CONFIG, None)
         campaign = ParallelCampaign(SMALL_CONFIG, max_workers=2)
         outcomes = campaign.run()
@@ -160,7 +169,12 @@ class TestCrashIsolation:
     @pytest.mark.parametrize("max_workers", [None, 2])
     def test_one_crashing_run_does_not_kill_campaign(self, max_workers):
         specs = self._specs()
-        outcomes = execute_specs(specs, max_workers=max_workers, runner=_explode_on_second)
+        outcomes = execute_specs(
+            specs,
+            max_workers=max_workers,
+            runner=_explode_on_second,
+            force_pool=max_workers is not None,
+        )
         assert len(outcomes) == len(specs)
         failed = [o for o in outcomes if o.failed]
         assert [o.spec.run_id for o in failed] == [
@@ -214,6 +228,7 @@ class TestProgressBridge:
         outcomes = execute_specs(
             specs,
             max_workers=2,
+            force_pool=True,
             progress=lambda done, total, outcome: seen.append(
                 (done, total, outcome.spec.run_id)
             ),
@@ -292,7 +307,9 @@ class TestChunking:
         specs = self._specs()
         serial = execute_specs(specs, max_workers=None)
         for chunk_size in (1, 2, len(specs), len(specs) * 3):
-            chunked = execute_specs(specs, max_workers=2, chunk_size=chunk_size)
+            chunked = execute_specs(
+                specs, max_workers=2, chunk_size=chunk_size, force_pool=True
+            )
             assert chunked == serial, f"chunk_size={chunk_size} changed outcomes"
 
     def test_default_chunk_sizing(self):
@@ -310,7 +327,7 @@ class TestChunking:
         # A runner crash inside a chunk fails that run only, not the chunk.
         specs = self._specs()
         outcomes = execute_specs(
-            specs, max_workers=2, chunk_size=3, runner=_explode_on_second
+            specs, max_workers=2, chunk_size=3, runner=_explode_on_second, force_pool=True
         )
         failed = [o.spec.run_id for o in outcomes if o.failed]
         assert failed == [s.run_id for s in specs if s.run_id.endswith("-02")]
@@ -322,6 +339,7 @@ class TestChunking:
             specs,
             max_workers=2,
             chunk_size=2,
+            force_pool=True,
             progress=lambda done, total, o: seen.append((done, o.spec.run_id)),
         )
         assert [done for done, _r in seen] == list(range(1, len(specs) + 1))
@@ -355,10 +373,31 @@ class TestResolveWorkers:
         assert resolve_workers(1) == 1
 
     def test_capped_at_total(self):
-        assert resolve_workers(8, total=3) == 3
+        assert resolve_workers(8, total=3, cpu_count=8) == 3
 
     def test_negative_means_all_cores(self):
         assert resolve_workers(-1, total=1000) >= 1
+        assert resolve_workers(-1, total=1000, cpu_count=6) == 6
+
+    @pytest.mark.parametrize(
+        "max_workers, total, cpu_count, expected",
+        [
+            # One-core host: every request resolves to in-process.
+            (2, 100, 1, 1),
+            (8, 100, 1, 1),
+            (-1, 100, 1, 1),
+            # Requests beyond the core count are clamped to it.
+            (8, 100, 4, 4),
+            (3, 100, 4, 3),
+            # ...and beyond the spec count, to that.
+            (4, 2, 8, 2),
+            (-1, 3, 16, 3),
+            # total=0 means "unknown": no spec cap applies.
+            (4, 0, 8, 4),
+        ],
+    )
+    def test_matrix(self, max_workers, total, cpu_count, expected):
+        assert resolve_workers(max_workers, total=total, cpu_count=cpu_count) == expected
 
     def test_retry_uses_earlier_injection(self):
         # A spec whose injection point lands after the upgrade finishes
@@ -367,3 +406,122 @@ class TestResolveWorkers:
         outcome = execute_run(spec)
         assert outcome.injected_at is not None
         assert outcome.spec.inject_at == 300.0
+
+
+class TestExecutionPlan:
+    """The cost model: pool only when startup+IPC can actually be repaid."""
+
+    def test_single_worker_never_pools(self):
+        plan = plan_execution(100, workers=1, cost_per_run=10.0)
+        assert not plan.use_pool
+        assert plan.workers == 1
+
+    def test_small_cheap_batch_stays_in_process(self):
+        # 8 runs x 1ms: serial ~8ms, pool pays >0.75s startup. No contest.
+        plan = plan_execution(8, workers=4, cost_per_run=0.001)
+        assert not plan.use_pool
+        assert "amortise" in plan.reason
+
+    def test_large_expensive_batch_pools(self):
+        # 200 runs x 0.5s: serial 100s vs ~26s across 4 workers.
+        plan = plan_execution(200, workers=4, cost_per_run=0.5)
+        assert plan.use_pool
+        assert plan.workers == 4
+        assert plan.projected_pool < plan.projected_serial
+
+    def test_breakeven_exactly_prefers_serial(self):
+        # projected_pool == projected_serial must NOT pool: the fallback
+        # is free, the pool is a gamble.
+        total, workers, startup = 10, 2, 0.0
+        # serial = c*10, pool = ipc*10 + c*5  ->  equal when c = 2*ipc.
+        cost = 2 * IPC_COST_PER_RUN
+        plan = plan_execution(total, workers, cost, startup_cost=startup)
+        assert not plan.use_pool
+
+    def test_chunks_sized_from_measured_cost(self):
+        # 0.1s/run against a 1.0s chunk target -> 10 specs per chunk.
+        plan = plan_execution(400, workers=4, cost_per_run=0.1)
+        assert plan.use_pool
+        assert plan.chunk_size == 10
+
+    def test_expensive_runs_get_minimal_chunks(self):
+        # 30s/run dwarfs the 1s chunk target: one spec per future.
+        plan = plan_execution(8, workers=4, cost_per_run=30.0)
+        assert plan.use_pool
+        assert plan.chunk_size == 1
+
+    def test_cheap_run_chunks_capped_so_every_worker_gets_one(self):
+        # 1ms runs would want 1000-spec chunks; the cap keeps all four
+        # workers fed.  (Zero overheads so the tiny batch still pools.)
+        plan = plan_execution(8, workers=4, cost_per_run=0.001,
+                              startup_cost=0.0, ipc_cost=0.0)
+        assert plan.use_pool
+        assert plan.chunk_size == 2  # ceil(8/4)
+
+    def test_explicit_chunk_size_wins(self):
+        plan = plan_execution(400, workers=4, cost_per_run=0.1, chunk_size=7)
+        assert plan.chunk_size == 7
+
+    def test_plan_fields_record_projections(self):
+        plan = plan_execution(100, workers=4, cost_per_run=1.0)
+        assert plan.projected_serial == pytest.approx(100.0)
+        assert plan.projected_pool == pytest.approx(
+            POOL_STARTUP_COST + IPC_COST_PER_RUN * 100 + 25.0
+        )
+
+
+class TestAdaptiveFallback:
+    """On a one-core host (or an unamortisable batch) execute_specs must
+    run in-process — and say so via plan_out."""
+
+    def _specs(self):
+        return Campaign(SMALL_CONFIG).build_specs()
+
+    def test_cpu_count_one_runs_in_process(self):
+        specs = self._specs()
+        plans: list[ExecutionPlan] = []
+        outcomes = execute_specs(specs, max_workers=4, cpu_count=1, plan_out=plans)
+        assert len(outcomes) == len(specs)
+        assert [o.spec.run_id for o in outcomes] == [s.run_id for s in specs]
+        assert len(plans) == 1 and not plans[0].use_pool
+
+    def test_small_batch_falls_back_even_with_cores(self):
+        # Plenty of "cores", but six sub-second runs cannot repay pool
+        # startup: the probe-fed plan must reject the pool.
+        specs = self._specs()
+        plans: list[ExecutionPlan] = []
+        outcomes = execute_specs(specs, max_workers=4, cpu_count=8, plan_out=plans)
+        assert len(outcomes) == len(specs)
+        assert len(plans) == 1
+        assert not plans[0].use_pool
+        assert plans[0].cost_per_run > 0  # fed by the measured probe
+
+    def test_fallback_outcomes_match_serial_exactly(self):
+        specs = self._specs()
+        serial = execute_specs(specs, max_workers=None)
+        adaptive = execute_specs(specs, max_workers=4, cpu_count=1)
+        assert adaptive == serial
+
+    def test_fallback_progress_covers_every_run(self):
+        specs = self._specs()
+        seen = []
+        execute_specs(
+            specs,
+            max_workers=4,
+            cpu_count=8,
+            progress=lambda done, total, o: seen.append((done, total, o.spec.run_id)),
+        )
+        assert [done for done, _t, _r in seen] == list(range(1, len(specs) + 1))
+        assert all(total == len(specs) for _d, total, _r in seen)
+        assert [r for _d, _t, r in seen] == [s.run_id for s in specs]
+
+    def test_forced_pool_still_matches_serial(self):
+        specs = self._specs()
+        plans: list[ExecutionPlan] = []
+        serial = execute_specs(specs, max_workers=None)
+        forced = execute_specs(
+            specs, max_workers=2, cpu_count=1, force_pool=True, plan_out=plans
+        )
+        assert forced == serial
+        assert len(plans) == 1 and plans[0].use_pool
+        assert plans[0].reason == "pool forced"

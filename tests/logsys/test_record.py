@@ -73,6 +73,63 @@ class TestLogRecord:
         assert "t1" in str(record) and "msg" in str(record)
 
 
+class TestPickleBoundary:
+    """Records cross process boundaries inside RunOutcome chunks; the
+    classify-once memo must not ride along (it drags the whole compiled
+    PatternLibrary into every IPC payload, and its identity guard makes
+    it dead weight in any other process)."""
+
+    def _classified_record(self):
+        import pickle
+
+        from repro.logsys.patterns import classify_record
+
+        library = PatternLibrary([LogPattern("alpha", r"doing alpha", position=END)])
+        record = LogRecord(
+            time=3.0, source="op.log", message="doing alpha",
+            tags=["trace:t1"], fields={"n": "2"}, timestamp="TS",
+        )
+        classification = classify_record(library, record)
+        assert classification.matched
+        assert record.classification is classification
+        assert record.classified_by is library
+        return pickle, record, library
+
+    def test_memo_stripped_on_round_trip(self):
+        pickle, record, _library = self._classified_record()
+        restored = pickle.loads(pickle.dumps(record))
+        assert restored == record  # payload equality (memo excluded anyway)
+        assert restored.classification is None
+        assert restored.classified_by is None
+
+    def test_round_trip_rebuilds_tag_index(self):
+        pickle, record, _library = self._classified_record()
+        restored = pickle.loads(pickle.dumps(record))
+        assert restored.tag_value("trace") == "t1"
+        restored.add_tag("step:ready")
+        assert restored.tag_value("step") == "ready"
+
+    def test_payload_does_not_contain_library(self):
+        # The serialized bytes must not balloon with the pattern library:
+        # a record that was classified pickles to the same size as one
+        # that never was.
+        pickle, record, _library = self._classified_record()
+        plain = LogRecord(
+            time=3.0, source="op.log", message="doing alpha",
+            tags=["trace:t1"], fields={"n": "2"}, timestamp="TS",
+        )
+        assert len(pickle.dumps(record)) == len(pickle.dumps(plain))
+
+    def test_restored_record_can_be_reclassified(self):
+        pickle, record, library = self._classified_record()
+        from repro.logsys.patterns import classify_record
+
+        restored = pickle.loads(pickle.dumps(record))
+        classification = classify_record(library, restored)
+        assert classification.matched and classification.activity == "alpha"
+        assert restored.classification is classification
+
+
 class TestLogStream:
     def test_emit_notifies_subscribers_in_order(self):
         stream = LogStream("op.log")
