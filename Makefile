@@ -28,12 +28,14 @@ test:
 	python -m pytest -x -q
 
 # Hot-path benchmarks + regression gate: compares the gated *ratio*
-# metrics (classify-once speedup, prefilter speedup, parallel speedup,
-# chunking gain, cloud stale-read speedup, monitor tick ratio/speedup,
-# snapshot sharing) against the committed BENCH_*.json baselines before
-# rewriting them.  Commit the rewritten artifacts to refresh the baseline.
+# metrics (classify-once speedup, prefilter speedup, fused-pipeline
+# speedup, parallel speedup, chunking gain, cloud stale-read speedup,
+# monitor tick ratio/speedup, snapshot sharing) against the committed
+# BENCH_*.json baselines before rewriting them.  Commit the rewritten
+# artifacts to refresh the baseline.  ONLY=<name> (space-separated to
+# select several) runs a subset: `make bench ONLY=pipeline`.
 bench:
-	python -m repro bench --baseline benchmarks --tolerance 0.25 --out benchmarks
+	python -m repro bench --baseline benchmarks --tolerance 0.25 --out benchmarks $(foreach n,$(ONLY),--only $(n))
 
 # The original pytest-benchmark microbenchmark suite (exploratory; no gate).
 bench-pytest:

@@ -69,7 +69,18 @@ class AssertionEvaluationService:
     # -- trigger paths ---------------------------------------------------------
 
     def trigger_from_log(self, record: LogRecord, assertion_ids: list[str]) -> None:
-        """Primary trigger: evaluate each bound assertion asynchronously."""
+        """Primary trigger: evaluate each bound assertion asynchronously.
+
+        Only *spawns* simulation processes — no synchronous storage reads
+        or writes happen here, which is what lets the fused batch ingest
+        path keep this callable in its per-record loop while deferring
+        ship appends to the batch epilogue (the spawn order, and so the
+        simulation schedule, is identical either way).
+        """
+        if not assertion_ids:
+            # Trigger.fire guards this, but direct callers (and the fused
+            # loop) shouldn't pay the context build for an empty set.
+            return
         context = ProcessContext.from_record(record)
         params = dict(record.fields)
         for assertion_id in assertion_ids:

@@ -316,7 +316,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_artifacts,
     )
 
-    results = run_benchmarks(quick=args.quick, workers=args.workers, seed=args.seed)
+    try:
+        results = run_benchmarks(
+            quick=args.quick, workers=args.workers, seed=args.seed, only=args.only
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_results(results))
     regressions: list[str] = []
     if args.baseline:
@@ -482,6 +488,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=2014)
     bench.add_argument("--quick", action="store_true",
                        help="smaller sizes (smoke mode; noisier numbers)")
+    bench.add_argument(
+        "--only", action="append", metavar="NAME", default=None,
+        help="run a single benchmark by name (repeatable); see"
+             " repro.evaluation.bench.BENCHMARKS for valid names",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     trees = sub.add_parser("trees", help="inventory the standard fault trees")

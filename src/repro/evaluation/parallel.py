@@ -126,8 +126,13 @@ def warm_worker() -> None:
     from repro.diagnosis.tests import shared_standard_probes
     from repro.faulttree.library import shared_standard_fault_trees
     from repro.operations.profile import shared_rolling_upgrade_profile
+    from repro.process.compiled import compile_model
 
-    shared_rolling_upgrade_profile()
+    profile = shared_rolling_upgrade_profile()
+    # Pre-compile the replay transition table too: it is cached on the
+    # shared model, so no run (or fused batch-ingest session) in this
+    # worker ever compiles it again.
+    compile_model(profile.model)
     shared_standard_fault_trees()
     shared_standard_probes()
 

@@ -21,18 +21,50 @@ from repro.logsys.record import LogRecord
 
 
 class RecordBatch:
-    """Columnar view over a run of log records."""
+    """Columnar view over a run of log records.
 
-    __slots__ = ("records", "times", "sources", "messages", "trace_ids")
+    Columns are lazy: wrapping records in a batch costs one list copy,
+    and each column is shredded out on first access (then cached), so
+    consumers that only iterate ``records`` — the fused ingest loop, the
+    conformance batch entry — never pay for columns they don't read.
+    """
+
+    __slots__ = ("records", "_times", "_sources", "_messages", "_trace_ids")
 
     def __init__(self, records: _t.Sequence[LogRecord]) -> None:
         self.records = list(records)
-        self.times: list[float] = [r.time for r in self.records]
-        self.sources: list[str] = [r.source for r in self.records]
-        self.messages: list[str] = [r.message for r in self.records]
-        self.trace_ids: list[str | None] = [
-            r.tag_value("trace") for r in self.records
-        ]
+        self._times: list[float] | None = None
+        self._sources: list[str] | None = None
+        self._messages: list[str] | None = None
+        self._trace_ids: list[str | None] | None = None
+
+    @property
+    def times(self) -> list[float]:
+        column = self._times
+        if column is None:
+            column = self._times = [r.time for r in self.records]
+        return column
+
+    @property
+    def sources(self) -> list[str]:
+        column = self._sources
+        if column is None:
+            column = self._sources = [r.source for r in self.records]
+        return column
+
+    @property
+    def messages(self) -> list[str]:
+        column = self._messages
+        if column is None:
+            column = self._messages = [r.message for r in self.records]
+        return column
+
+    @property
+    def trace_ids(self) -> list[str | None]:
+        column = self._trace_ids
+        if column is None:
+            column = self._trace_ids = [r.tag_value("trace") for r in self.records]
+        return column
 
     @classmethod
     def from_records(cls, records: _t.Sequence[LogRecord]) -> "RecordBatch":

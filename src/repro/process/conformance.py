@@ -144,8 +144,16 @@ class ConformanceChecker:
             self._replayer.states if self._replayer is not None else {}
         )
         obs = obs or NULL_OBS
-        self._tracer = obs.tracer if obs.enabled else None
+        tracer = obs.tracer if obs.enabled else None
+        if tracer is not None and not getattr(tracer, "enabled", True):
+            # Metrics-only observability: a disabled tracer records
+            # nothing, so skip its wrapper frames like a missing one.
+            tracer = None
+        self._tracer = tracer
         self._metrics = obs.metrics if obs.enabled else None
+        #: Fused-ingest dispatch cache: (key, library, rows) — see
+        #: :meth:`fused_rows`.
+        self._fused_rows: tuple | None = None
         if self._tracer is None:
             # No span to open: route public calls straight to the
             # workers, skipping the wrapper frame on every check.
@@ -256,23 +264,28 @@ class ConformanceChecker:
         activity = pattern.activity
         if pattern.is_error:
             return self._error_result(record, trace_id, ERROR, activity, instance)
-        table = replayer.table
-        tid = table.activity_ids.get(activity)
+        tid = replayer.table.activity_ids.get(activity)
         if tid is None:
             return self._error_result(record, trace_id, UNKNOWN, None, instance)
+        return self._replay_tid(record, trace_id, instance, tid, activity)
+
+    def _replay_tid(
+        self, record: LogRecord, trace_id: str, instance, tid: int, activity: str
+    ) -> ConformanceResult:
+        """Token-replay one pre-resolved transition id.
+
+        The single replay core shared by the per-record reference path
+        (:meth:`_replay_compiled`) and the fused ingest path
+        (:meth:`fused_session`) — one implementation, so the two paths
+        cannot drift.
+        """
+        table = self._replayer.table
         last_fit = instance.last_fit
         marking = instance.marking
         inputs = table.inputs[tid]
         for place in inputs:
             if marking[place] <= 0:
-                # UNFIT: error context derived BEFORE the forced replay.
-                context = ProcessContext.from_record(record)
-                context.last_valid_activity = last_fit
-                context.skipped_activities = instance.hypothesize_skipped(activity)
-                instance.replay_id(tid, record.time)
-                context.conformance = UNFIT
-                context.step = activity
-                return ConformanceResult(UNFIT, activity, trace_id, context=context)
+                return self._unfit_replay(record, trace_id, instance, tid, activity)
         # FIT: the hot path — fire inlined (the enabled scan above already
         # proved every input has a token), context deferred, no dict copies.
         for place in inputs:
@@ -284,6 +297,160 @@ class ConformanceChecker:
         instance.last_fit = activity
         instance._events.append((record.time, activity, True, 0))
         return ConformanceResult(FIT, activity, trace_id, deferred=(record, last_fit))
+
+    def _unfit_replay(
+        self, record: LogRecord, trace_id: str, instance, tid: int, activity: str
+    ) -> ConformanceResult:
+        """UNFIT: error context derived BEFORE the forced replay."""
+        context = ProcessContext.from_record(record)
+        context.last_valid_activity = instance.last_fit
+        context.skipped_activities = instance.hypothesize_skipped(activity)
+        instance.replay_id(tid, record.time)
+        context.conformance = UNFIT
+        context.step = activity
+        return ConformanceResult(UNFIT, activity, trace_id, context=context)
+
+    # -- fused ingest session --------------------------------------------------
+
+    def fused_rows(self, library: PatternLibrary) -> dict:
+        """Per-pattern replay dispatch for the fused ingest loop.
+
+        Maps ``id(pattern)`` to ``(status_kind, tid, activity)``: error
+        patterns short-circuit to ERROR, activities the model does not
+        know to UNKNOWN, everything else to the transition id the replay
+        core consumes directly — the dense step-id table that lets the
+        fused loop feed the replayer without re-dispatching through tags.
+        Cached per (library, table) pair; the library pin keeps pattern
+        ids live so the id-keyed rows can never alias a collected object.
+        """
+        replayer = self._replayer
+        key = (id(library), len(library.patterns), id(replayer.table))
+        cached = self._fused_rows
+        if cached is not None and cached[0] == key and cached[1] is library:
+            return cached[2]
+        activity_ids = replayer.table.activity_ids
+        rows: dict[int, tuple] = {}
+        for pattern in library.patterns:
+            activity = pattern.activity
+            if pattern.is_error:
+                rows[id(pattern)] = (ERROR, None, activity)
+            else:
+                tid = activity_ids.get(activity)
+                if tid is None:
+                    rows[id(pattern)] = (UNKNOWN, None, None)
+                else:
+                    rows[id(pattern)] = (FIT, tid, activity)
+        self._fused_rows = (key, library, rows)
+        return rows
+
+    def fused_session(self, pending: list | None = None):
+        """One fused-ingest session: returns ``check(record, kind, tid,
+        activity) -> ConformanceResult`` with every piece of hot state —
+        the replay table arrays, the instance map, the results list, the
+        status tag strings — bound once as closure cells instead of being
+        re-resolved through ``self`` on every record.
+
+        The caller already classified each record; ``(kind, tid,
+        activity)`` comes from :meth:`fused_rows`.  The FIT replay is
+        inlined (byte-for-byte the :meth:`_replay_tid` hot path; UNFIT
+        and ERROR/UNKNOWN delegate to the shared cold helpers, so the
+        reference and fused paths cannot drift).  Status tagging, the
+        results list, result logging and the error callback keep the
+        exact per-record reference order; counters, metrics and
+        ``elapsed`` are settled once per batch by :meth:`fused_finish`.
+        When ``pending`` is given, result logs are deferred into it (the
+        caller owns the storage and extends it in one epilogue) instead
+        of being appended to ``self.storage`` immediately.
+        """
+        replayer = self._replayer
+        states = replayer.states
+        instance_for = replayer.instance_for
+        table = replayer.table
+        inputs_tab = table.inputs
+        outputs_tab = table.outputs
+        input_counts = table.input_counts
+        output_counts = table.output_counts
+        results_append = self.results.append
+        status_tags = _STATUS_TAGS
+        storage = self.storage
+        storage_append = storage.append if storage is not None else None
+        pending_append = pending.append if pending is not None else None
+        on_error = self.on_error
+        error_result = self._error_result
+        unfit_replay = self._unfit_replay
+        result_record = self._result_record
+        result_cls = ConformanceResult
+        fit = FIT
+
+        def check(record, kind, tid, activity):
+            index = record._tag_index
+            trace_id = index.get("trace")
+            if trace_id is None:
+                trace_id = "untraced:" + record.source
+            instance = states.get(trace_id)
+            if instance is None:
+                instance = instance_for(trace_id)
+            if tid is None:
+                result = error_result(record, trace_id, kind, activity, instance)
+                status = kind
+            else:
+                marking = instance.marking
+                inputs = inputs_tab[tid]
+                for place in inputs:
+                    if marking[place] <= 0:
+                        result = unfit_replay(record, trace_id, instance, tid, activity)
+                        status = result.status
+                        break
+                else:
+                    for place in inputs:
+                        marking[place] -= 1
+                    for place in outputs_tab[tid]:
+                        marking[place] += 1
+                    instance.consumed += input_counts[tid]
+                    instance.produced += output_counts[tid]
+                    last_fit = instance.last_fit
+                    instance.last_fit = activity
+                    instance._events.append((record.time, activity, True, 0))
+                    result = result_cls(fit, activity, trace_id, deferred=(record, last_fit))
+                    status = fit
+            # add_tag inlined, same shape as _check.
+            tag = status_tags[status]
+            tag_set = record._tag_set
+            if tag not in tag_set:
+                tag_set.add(tag)
+                record.tags.append(tag)
+                if "conformance" not in index:
+                    index["conformance"] = status
+            results_append(result)
+            if storage_append is not None:
+                out = result_record(record, result)
+                if pending_append is not None:
+                    pending_append(out)
+                else:
+                    storage_append(out)
+            if status != fit and on_error is not None:
+                on_error(result)
+            return result
+
+        return check
+
+    def fused_finish(self, results: list[ConformanceResult], elapsed: float) -> None:
+        """Batched epilogue of a fused session: counters + amortised cost."""
+        total = len(results)
+        self.check_count += total
+        if total == 0:
+            return
+        metrics = self._metrics
+        if metrics is not None:
+            for status, count in count_statuses([r.status for r in results]).items():
+                metrics.inc(_CHECK_COUNTERS[status], count)
+                if status == FIT or status == UNFIT:
+                    metrics.inc("conformance.tokens_replayed", count)
+            metrics.inc("conformance.batch.records", total)
+            metrics.inc("conformance.compiled.checks", total)
+        per_check = elapsed / total
+        for result in results:
+            result.elapsed = per_check
 
     def _error_result(
         self, record: LogRecord, trace_id: str, status: str,
@@ -379,14 +546,34 @@ class ConformanceChecker:
         total = len(batch)
         if total == 0:
             return []
-        self.check_count += total
         results: list[ConformanceResult] = []
         if self._replayer is not None:
+            # Compiled: the same fused session the batch ingest pipeline
+            # drives — classify once, resolve the dense dispatch row,
+            # replay through the shared core, settle counters in one
+            # epilogue.  Per-record order (tag → log → error callback)
+            # matches sequential check() exactly.
+            library = self.library
+            rows = self.fused_rows(library)
+            metrics = self._metrics
+            unmatched = (UNKNOWN, None, None)
+            fused_check = self.fused_session()
             for record in batch.records:
-                results.append(self._replay_compiled(record))
-        else:
-            for record in batch.records:
-                results.append(self._check_interpreted(record))
+                if metrics is None and record.classified_by is library:
+                    classification = record.classification
+                else:
+                    classification = classify_record(library, record, metrics)
+                pattern = classification.pattern
+                if pattern is None:
+                    kind, tid, activity = unmatched
+                else:
+                    kind, tid, activity = rows.get(id(pattern), unmatched)
+                results.append(fused_check(record, kind, tid, activity))
+            self.fused_finish(results, _time.perf_counter() - started)
+            return results
+        self.check_count += total
+        for record in batch.records:
+            results.append(self._check_interpreted(record))
         if self._metrics is not None:
             metrics = self._metrics
             for status, count in count_statuses([r.status for r in results]).items():
@@ -394,8 +581,6 @@ class ConformanceChecker:
                 if status == FIT or status == UNFIT:
                     metrics.inc("conformance.tokens_replayed", count)
             metrics.inc("conformance.batch.records", total)
-            if self._replayer is not None:
-                metrics.inc("conformance.compiled.checks", total)
         per_check = (_time.perf_counter() - started) / total
         append = self.results.append
         log_results = self.storage is not None
@@ -412,9 +597,7 @@ class ConformanceChecker:
                     on_error(result)
         return results
 
-    def _log_result(self, record: LogRecord, result: ConformanceResult) -> None:
-        if self.storage is None:
-            return
+    def _result_record(self, record: LogRecord, result: ConformanceResult) -> LogRecord:
         time = self.clock.now() if self.clock is not None else record.time
         timestamp = self.clock.render() if self.clock is not None else record.timestamp
         message = (
@@ -432,7 +615,12 @@ class ConformanceChecker:
         out.add_tag(f"conformance:{result.status}")
         if result.activity:
             out.add_tag(f"step:{result.activity}")
-        self.storage.append(out)
+        return out
+
+    def _log_result(self, record: LogRecord, result: ConformanceResult) -> None:
+        if self.storage is None:
+            return
+        self.storage.append(self._result_record(record, result))
 
     # -- aggregate views -------------------------------------------------------
 

@@ -43,6 +43,47 @@ class TestBenchMatching:
         assert metrics["classify_once_speedup"] > 1.0
 
 
+class TestBenchPipeline:
+    def test_small_run_produces_gated_ratio(self):
+        from repro.evaluation.bench import bench_pipeline
+
+        result = bench_pipeline(traces=40, repeat=1)
+        assert result["name"] == "pipeline"
+        assert set(result["gate"]) == {"fused_pipeline_speedup"}
+        assert result["floors"] == {"fused_pipeline_speedup": 2.0}
+        metrics = result["metrics"]
+        assert metrics["records"] == 40 * 12
+        assert metrics["fused_pipeline_speedup"] > 0
+        assert metrics["fused_records_per_sec"] > 0
+        assert metrics["fused_end_to_end_records_per_sec"] > 0
+
+
+class TestOnlySelection:
+    def test_only_runs_the_named_benchmark(self):
+        from repro.evaluation.bench import run_benchmarks
+
+        results = run_benchmarks(quick=True, only=["matching"])
+        assert [r["name"] for r in results] == ["matching"]
+
+    def test_only_preserves_suite_order_and_dedups(self):
+        from repro.evaluation.bench import run_benchmarks
+
+        results = run_benchmarks(
+            quick=True, only=["pipeline", "matching", "matching"]
+        )
+        assert [r["name"] for r in results] == ["matching", "pipeline"]
+
+    def test_unknown_name_raises_with_valid_names(self):
+        from repro.evaluation.bench import BENCHMARKS, run_benchmarks
+
+        with pytest.raises(ValueError) as excinfo:
+            run_benchmarks(quick=True, only=["nope"])
+        message = str(excinfo.value)
+        assert "nope" in message
+        for name in BENCHMARKS:
+            assert name in message
+
+
 class TestBenchCloud:
     def test_small_run_produces_gated_ratios(self):
         from repro.evaluation.bench import bench_cloud
@@ -216,3 +257,20 @@ class TestCli:
         )
         assert args.func.__name__ == "_cmd_bench"
         assert args.tolerance == 0.25
+
+    def test_only_flag_repeats(self):
+        pytest.importorskip("repro.cli")
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--only", "pipeline", "--only", "matching"]
+        )
+        assert args.only == ["pipeline", "matching"]
+
+    def test_unknown_only_name_exits_two(self, tmp_path, capsys):
+        pytest.importorskip("repro.cli")
+        from repro.cli import main
+
+        code = main(["bench", "--quick", "--out", str(tmp_path), "--only", "bogus"])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().err

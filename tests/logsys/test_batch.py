@@ -1,0 +1,59 @@
+"""RecordBatch columnar view: laziness, caching, and correctness."""
+
+from repro.logsys.batch import RecordBatch, count_statuses, where
+from repro.logsys.record import LogRecord
+
+
+def records():
+    return [
+        LogRecord(time=1.0, source="a.log", message="one", tags=["trace:t1"]),
+        LogRecord(time=2.0, source="b.log", message="two"),
+        LogRecord(time=3.0, source="a.log", message="three", tags=["trace:t2"]),
+    ]
+
+
+class TestLazyColumns:
+    def test_construction_shreds_nothing(self):
+        batch = RecordBatch(records())
+        assert batch._times is None
+        assert batch._sources is None
+        assert batch._messages is None
+        assert batch._trace_ids is None
+
+    def test_columns_materialize_on_first_access_and_cache(self):
+        batch = RecordBatch(records())
+        times = batch.times
+        assert times == [1.0, 2.0, 3.0]
+        assert batch._times is times
+        assert batch.times is times  # second access returns the cache
+
+    def test_column_values(self):
+        batch = RecordBatch(records())
+        assert batch.sources == ["a.log", "b.log", "a.log"]
+        assert batch.messages == ["one", "two", "three"]
+        assert batch.trace_ids == ["t1", None, "t2"]
+
+    def test_untouched_columns_stay_lazy(self):
+        batch = RecordBatch(records())
+        batch.messages
+        assert batch._messages is not None
+        assert batch._times is None
+        assert batch._sources is None
+        assert batch._trace_ids is None
+
+    def test_records_ride_by_reference(self):
+        originals = records()
+        batch = RecordBatch(originals)
+        assert batch.records[0] is originals[0]
+        assert len(batch) == 3
+        assert len(RecordBatch.from_records(originals)) == 3
+
+
+class TestColumnOps:
+    def test_count_statuses(self):
+        assert count_statuses(["fit", "unfit", "fit"]) == {"fit": 2, "unfit": 1}
+        assert count_statuses([]) == {}
+
+    def test_where(self):
+        statuses = ["fit", "unfit", "fit", "error"]
+        assert where(statuses, lambda s: s != "fit") == [1, 3]

@@ -1,0 +1,381 @@
+"""Fused batch ingest ≡ per-record pipeline equivalence.
+
+``LocalLogProcessor.process_batch`` is only allowed to exist because it
+is *indistinguishable* from running :meth:`process` per record — same
+shipped flags, same tags/fields on every record, same storage contents
+in the same order, same conformance results (statuses AND contexts),
+same callback invocation order, same counters.  These tests pin that
+down on hand-built streams, on the rolling-upgrade corpus, and on
+hypothesis-generated interleavings over every record arrival shape
+(bare, preset trace, preset context tags), plus every fallback route
+(tracer attached, interpreted checker, foreign callables, subclassed
+stages).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logsys.annotator import AssertionAnnotator, ProcessAnnotator
+from repro.logsys.batch import RecordBatch
+from repro.logsys.filters import NoiseFilter
+from repro.logsys.patterns import END, LogPattern, PatternLibrary
+from repro.logsys.pipeline import LocalLogProcessor
+from repro.logsys.record import LogRecord
+from repro.logsys.storage import CentralLogStorage
+from repro.logsys.trigger import Trigger
+from repro.obs import Observability
+from repro.process.conformance import ConformanceChecker
+from repro.process.model import ProcessModel
+
+
+def make_library():
+    return PatternLibrary(
+        [
+            LogPattern("alpha", r"doing alpha", position="start"),
+            LogPattern("beta", r"doing beta on (?P<instanceid>i-\w+)", position=END),
+            LogPattern("gamma", r"doing gamma", position=END),
+            LogPattern("op-error", r"ERROR .*", position=END, is_error=True),
+        ]
+    )
+
+
+def make_model():
+    model = ProcessModel("linear")
+    model.add_sequence("alpha", "beta", "gamma")
+    model.mark_start("alpha")
+    model.mark_end("gamma")
+    return model
+
+
+LINES = (
+    "doing alpha",
+    "doing beta on i-42",
+    "doing gamma",
+    "ERROR boom",
+    "unmatched chatter",
+    "DEBUG drop me",
+)
+
+#: Arrival shapes: bare, preset trace (distinct / equal to the static
+#: one), preset context tags, and a mix.
+TAG_SHAPES = (
+    (),
+    ("trace:t1",),
+    ("trace:t2",),
+    ("trace:t-static",),
+    ("step:beta", "position:end"),
+    ("trace:t1", "step:alpha", "position:start"),
+)
+
+
+def build_stack(
+    conf="fused",
+    assertions="callback",
+    trace_id="t-static",
+    passthrough=True,
+    share_conf_storage=True,
+    obs=None,
+):
+    """One full pipeline stack; returns (processor, checker, storage, events)."""
+    events: list = []
+    library = make_library()
+    storage = CentralLogStorage()
+    checker = None
+    conformance = None
+    if conf is not None:
+        checker = ConformanceChecker(
+            make_model(),
+            library,
+            compiled=(conf != "interpreted"),
+            storage=storage if share_conf_storage else CentralLogStorage(),
+            on_error=lambda r: events.append(("conf-err", r.status, r.trace_id)),
+            obs=obs,
+        )
+        if conf == "plain":
+            conformance = lambda record: events.append(
+                ("conf", checker.check(record).status)
+            )
+        else:
+            conformance = checker.check
+    assertion_cb = None
+    if assertions == "callback":
+        assertion_cb = lambda record, ids: events.append(
+            ("assert", tuple(ids), record.tag_value("trace"))
+        )
+    annotator = AssertionAnnotator()
+    annotator.bind("beta", "end", ["check-beta"])
+    annotator.bind("gamma", "end", ["check-gamma", "check-extra"])
+    processor = LocalLogProcessor(
+        noise_filter=NoiseFilter(library, passthrough_unmatched=passthrough, obs=obs),
+        process_annotator=ProcessAnnotator(library, "proc", trace_id, obs=obs),
+        assertion_annotator=annotator,
+        trigger=Trigger(conformance=conformance, assertions=assertion_cb),
+        storage=storage,
+        obs=obs,
+    )
+    return processor, checker, storage, events
+
+
+def make_records(specs):
+    return [
+        LogRecord(time=float(i), source="op.log", message=message, tags=list(tags))
+        for i, (message, tags) in enumerate(specs)
+    ]
+
+
+def assert_equivalent(specs, as_batch=False, **config):
+    """Per-record and fused runs over identical streams must agree on
+    every observable: flags, tags, fields, storage, results, callbacks,
+    counters."""
+    ref, ref_checker, ref_storage, ref_events = build_stack(**config)
+    fused, fused_checker, fused_storage, fused_events = build_stack(**config)
+    ref_records = make_records(specs)
+    fused_records = make_records(specs)
+
+    ref_flags = [ref.process(record) for record in ref_records]
+    payload = RecordBatch(fused_records) if as_batch else fused_records
+    fused_flags = fused.process_batch(payload)
+
+    assert fused_flags == ref_flags
+    assert [r.tags for r in fused_records] == [r.tags for r in ref_records]
+    assert [r._tag_index for r in fused_records] == [r._tag_index for r in ref_records]
+    assert [dict(r.fields) for r in fused_records] == [dict(r.fields) for r in ref_records]
+    assert [(r.message, r.type, r.tags) for r in fused_storage.records] == [
+        (r.message, r.type, r.tags) for r in ref_storage.records
+    ]
+    assert fused_events == ref_events
+    if ref_checker is not None:
+        # Result equality forces the lazy fit contexts on both sides.
+        assert fused_checker.results == ref_checker.results
+        assert fused_checker.check_count == ref_checker.check_count
+    assert fused.processed_count == ref.processed_count
+    assert fused.shipped_count == ref.shipped_count
+    assert fused.noise_filter.dropped_count == ref.noise_filter.dropped_count
+    assert fused.noise_filter.passed_count == ref.noise_filter.passed_count
+    assert fused.trigger.conformance_calls == ref.trigger.conformance_calls
+    assert fused.trigger.assertion_calls == ref.trigger.assertion_calls
+    return ref, fused
+
+
+MIXED_STREAM = [
+    ("doing alpha", ("trace:t1",)),
+    ("doing beta on i-42", ("trace:t1",)),
+    ("doing gamma", ("trace:t1",)),          # fit flow, then:
+    ("doing gamma", ("trace:t2",)),          # unfit (skipped alpha+beta)
+    ("ERROR boom", ("trace:t2",)),           # known error
+    ("unmatched chatter", ()),               # passthrough-unmatched
+    ("DEBUG drop me", ("trace:t1",)),        # dropped by noise filter
+    ("doing alpha", ()),                     # bare: static trace
+    ("doing beta on i-7", ("step:alpha", "position:start")),  # preset context
+    ("doing alpha", ("trace:t-static",)),    # preset == static trace
+]
+
+
+class TestHandPickedEquivalence:
+    def test_mixed_stream(self):
+        assert_equivalent(MIXED_STREAM)
+
+    def test_record_batch_input(self):
+        assert_equivalent(MIXED_STREAM, as_batch=True)
+
+    def test_empty_batch(self):
+        processor, _, _, _ = build_stack()
+        assert processor.process_batch([]) == []
+
+    def test_drop_unmatched_config(self):
+        assert_equivalent(MIXED_STREAM, passthrough=False)
+
+    def test_no_conformance(self):
+        assert_equivalent(MIXED_STREAM, conf=None)
+
+    def test_no_assertion_callback_defers_one_extend(self):
+        # With the conformance side fused and no assertion callback, the
+        # fused path ships via a single storage.extend — contents and
+        # order must still match the per-record appends.
+        assert_equivalent(MIXED_STREAM, assertions=None)
+
+    def test_callable_trace_id(self):
+        assert_equivalent(MIXED_STREAM, trace_id=lambda r: f"trace-{int(r.time) % 3}")
+
+    def test_separate_conformance_storage(self):
+        ref, fused = assert_equivalent(MIXED_STREAM, share_conf_storage=False)
+        checker = ref.trigger.fused_checker()
+        assert checker is not None and checker.storage is not ref.storage
+
+
+class TestFallbackRoutes:
+    """Configurations the plan must refuse still match the reference —
+    because they run it."""
+
+    def test_interpreted_checker_not_fused(self):
+        ref, fused = assert_equivalent(MIXED_STREAM, conf="interpreted")
+        assert fused._plan().checker is None
+
+    def test_plain_callable_not_fused(self):
+        ref, fused = assert_equivalent(MIXED_STREAM, conf="plain")
+        assert fused._plan().checker is None
+
+    def test_subclassed_filter_falls_back_per_record(self):
+        class CountingFilter(NoiseFilter):
+            pass
+
+        processor, _, _, _ = build_stack()
+        processor.noise_filter = CountingFilter(
+            processor.process_annotator.library, passthrough_unmatched=True
+        )
+        assert processor._plan() is None
+        assert_equivalent_with(processor, MIXED_STREAM)
+
+    def test_tracer_falls_back_per_record(self):
+        obs = Observability(enabled=True)
+        processor, _, _, _ = build_stack(obs=obs)
+        assert processor._tracer is not None
+        assert processor._plan() is None
+        flags = processor.process_batch(make_records(MIXED_STREAM))
+        assert len(flags) == len(MIXED_STREAM)
+
+    def test_library_mismatch_falls_back(self):
+        processor, _, _, _ = build_stack()
+        processor.noise_filter = NoiseFilter(make_library(), passthrough_unmatched=True)
+        assert processor._plan() is None
+
+
+def assert_equivalent_with(fused_processor, specs):
+    """Fused processor (possibly degraded to fallback) vs a fresh
+    reference stack over the same stream."""
+    ref, _, ref_storage, _ = build_stack()
+    ref_records = make_records(specs)
+    fused_records = make_records(specs)
+    ref_flags = [ref.process(r) for r in ref_records]
+    fused_flags = fused_processor.process_batch(fused_records)
+    assert fused_flags == ref_flags
+    assert [r.tags for r in fused_records] == [r.tags for r in ref_records]
+
+
+class TestPlanInvalidation:
+    def test_new_binding_applies_to_next_batch(self):
+        processor, _, _, events = build_stack()
+        processor.process_batch(make_records([("doing beta on i-1", ("trace:t1",))]))
+        assert events[-1] == ("assert", ("check-beta",), "t1")
+        processor.assertion_annotator.bind("alpha", "start", ["check-alpha"])
+        processor.process_batch(make_records([("doing alpha", ("trace:t2",))]))
+        assert events[-1] == ("assert", ("check-alpha",), "t2")
+
+    def test_plan_cached_between_batches(self):
+        processor, _, _, _ = build_stack()
+        plan = processor._plan()
+        processor.process_batch(make_records(MIXED_STREAM))
+        assert processor._plan() is plan
+
+
+class TestMetricsEquivalence:
+    def test_outcome_counters_match_per_record(self):
+        # Work-performed counters (classification memo hits) legitimately
+        # differ — the fused pass scans once where the reference re-checks
+        # the memo per stage.  Outcome counters must not.
+        outcome_keys = (
+            "pipeline.records_ingested",
+            "pipeline.records_filtered",
+            "pipeline.records_shipped",
+            "conformance.checks.fit",
+            "conformance.checks.unfit",
+            "conformance.checks.error",
+            "conformance.checks.unclassified",
+            "conformance.tokens_replayed",
+        )
+        def counters(obs):
+            snapshot = obs.metrics.snapshot()["counters"]
+            return {key: snapshot.get(key, 0) for key in outcome_keys}
+
+        ref_obs = Observability(enabled=True)
+        ref_obs.tracer.enabled = False
+        fused_obs = Observability(enabled=True)
+        fused_obs.tracer.enabled = False
+        ref, _, _, _ = build_stack(obs=ref_obs)
+        fused, _, _, _ = build_stack(obs=fused_obs)
+        for record in make_records(MIXED_STREAM):
+            ref.process(record)
+        fused.process_batch(make_records(MIXED_STREAM))
+        assert counters(fused_obs) == counters(ref_obs)
+
+
+streams = st.lists(
+    st.tuples(st.sampled_from(LINES), st.sampled_from(TAG_SHAPES)),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestPropertyEquivalence:
+    @given(stream=streams)
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_streams(self, stream):
+        assert_equivalent(stream)
+
+    @given(stream=streams)
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_streams_without_assertion_callback(self, stream):
+        assert_equivalent(stream, assertions=None)
+
+    @given(stream=streams)
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_streams_callable_trace(self, stream):
+        assert_equivalent(stream, trace_id=lambda r: f"trace-{int(r.time) % 2}")
+
+
+class TestRollingUpgradeCorpus:
+    """The real operation profile end to end, both engines."""
+
+    def _stack(self):
+        from repro.operations.rolling_upgrade import (
+            build_pattern_library,
+            reference_process_model,
+        )
+
+        events: list = []
+        library = build_pattern_library(compiled=True)
+        storage = CentralLogStorage()
+        checker = ConformanceChecker(
+            reference_process_model(),
+            library,
+            storage=storage,
+            on_error=lambda r: events.append((r.status, r.trace_id)),
+        )
+        annotator = AssertionAnnotator()
+        annotator.bind("sort_instances", "end", ["check-count"])
+        processor = LocalLogProcessor(
+            noise_filter=NoiseFilter(library, passthrough_unmatched=True),
+            process_annotator=ProcessAnnotator(library, "rolling-upgrade", "run-1"),
+            assertion_annotator=annotator,
+            trigger=Trigger(conformance=checker.check),
+            storage=storage,
+        )
+        return processor, checker, storage, events
+
+    CORPUS = [
+        ("Pushing ami-001 into group asg-x: rolling upgrade task started", "u-1"),
+        ("Updated launch configuration of group asg-x to lc-2 with image ami-001", "u-1"),
+        ("Sorted 2 instances of group asg-x for replacement", "u-1"),
+        ("Deregistered instance i-001 from load balancer elb-x", "u-1"),
+        ("Terminating instance i-001 in group asg-x", "u-1"),
+        ("Waiting for group asg-x to start a new instance", "u-1"),
+        ("Instance i-002 is ready for use in group asg-x. 1 of 2 done", "u-1"),
+        ("Rolling upgrade task completed for group asg-x", "u-2"),  # unfit trace
+        ("surprise line nobody modelled", "u-1"),
+    ]
+
+    def test_corpus_equivalence(self):
+        ref, ref_checker, ref_storage, ref_events = self._stack()
+        fused, fused_checker, fused_storage, fused_events = self._stack()
+        specs = [(m, (f"trace:{t}",)) for m, t in self.CORPUS]
+        ref_records = make_records(specs)
+        fused_records = make_records(specs)
+        ref_flags = [ref.process(r) for r in ref_records]
+        fused_flags = fused.process_batch(fused_records)
+        assert fused_flags == ref_flags
+        assert [r.tags for r in fused_records] == [r.tags for r in ref_records]
+        assert fused_checker.results == ref_checker.results
+        assert fused_events == ref_events
+        assert [(r.message, r.tags) for r in fused_storage.records] == [
+            (r.message, r.tags) for r in ref_storage.records
+        ]

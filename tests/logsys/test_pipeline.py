@@ -164,6 +164,33 @@ class TestLocalLogProcessor:
         assert processor.processed_count == 1
         assert processor.shipped_count == 1
 
+    def test_metrics_counted_without_tracer(self):
+        # Metric increments must not depend on span emission being on:
+        # a metrics-only Observability (tracer disabled) still counts
+        # ingested/filtered/shipped records.
+        from repro.obs import Observability
+
+        obs = Observability(enabled=True)
+        obs.tracer.enabled = False
+        aa = AssertionAnnotator()
+        aa.bind("work", "end", ["check-1"])
+        lib = library()
+        processor = LocalLogProcessor(
+            noise_filter=NoiseFilter(lib, obs=obs),
+            process_annotator=ProcessAnnotator(lib, "p", "t", obs=obs),
+            assertion_annotator=aa,
+            trigger=Trigger(),
+            storage=CentralLogStorage(),
+            obs=obs,
+        )
+        assert processor._tracer is None
+        processor.process(record("did work on i-1"))
+        processor.process(record("noise"))
+        counters = obs.metrics.snapshot()["counters"]
+        assert counters["pipeline.records_ingested"] == 1
+        assert counters["pipeline.records_filtered"] == 1
+        assert counters["pipeline.records_shipped"] == 1
+
 
 class TestCentralLogStorage:
     def test_query_conjunctive(self):
